@@ -1,0 +1,132 @@
+// Command ebv-worker runs ONE worker of a multi-process subgraph-centric
+// BSP computation. A deployment looks like:
+//
+//  1. Partition and shard on the coordinator:
+//     ebv-partition -in graph.txt -algo EBV -parts 3 -subgraph-dir shards/
+//  2. Start one worker per process (or per host), all with the same peer
+//     list; worker i listens on the i-th address:
+//     ebv-worker -subgraph shards/subgraph-0.bin -worker 0 \
+//     -peers 127.0.0.1:9100,127.0.0.1:9101,127.0.0.1:9102 -app CC -out r0.txt
+//     ebv-worker -subgraph shards/subgraph-1.bin -worker 1 -peers ... -out r1.txt
+//     ebv-worker -subgraph shards/subgraph-2.bin -worker 2 -peers ... -out r2.txt
+//
+// Each worker prints its breakdown and writes "vertex value" lines for its
+// local vertices. No process ever loads the whole graph.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ebv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ebv-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		subPath = flag.String("subgraph", "", "subgraph file written by ebv-partition -subgraph-dir")
+		worker  = flag.Int("worker", -1, "this worker's id")
+		peers   = flag.String("peers", "", "comma-separated listen addresses, one per worker")
+		app     = flag.String("app", "CC", "application: CC | PR | SSSP")
+		iters   = flag.Int("iters", 10, "PageRank iterations")
+		source  = flag.Uint64("source", 0, "SSSP source vertex")
+		timeout = flag.Duration("dial-timeout", 30*time.Second, "time to wait for peers")
+		outPath = flag.String("out", "", "write 'vertex value' lines here (default stdout)")
+	)
+	flag.Parse()
+	if *subPath == "" || *worker < 0 || *peers == "" {
+		return fmt.Errorf("need -subgraph, -worker and -peers")
+	}
+	addrs := strings.Split(*peers, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	if *worker >= len(addrs) {
+		return fmt.Errorf("worker %d but only %d peer addresses", *worker, len(addrs))
+	}
+
+	f, err := os.Open(*subPath)
+	if err != nil {
+		return err
+	}
+	sub, err := ebv.ReadSubgraph(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if sub.Part != *worker {
+		return fmt.Errorf("subgraph file is for worker %d, not %d", sub.Part, *worker)
+	}
+	if sub.NumWorkers != len(addrs) {
+		return fmt.Errorf("subgraph expects %d workers, peer list has %d",
+			sub.NumWorkers, len(addrs))
+	}
+
+	var prog ebv.Program
+	switch strings.ToUpper(*app) {
+	case "CC":
+		prog = &ebv.CC{}
+	case "PR":
+		prog = &ebv.PageRank{Iterations: *iters}
+	case "SSSP":
+		prog = &ebv.SSSP{Source: ebv.VertexID(*source)}
+	default:
+		return fmt.Errorf("unknown app %q", *app)
+	}
+
+	tr, err := ebv.NewTCPWorker(*worker, addrs, *timeout)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+
+	res, err := ebv.RunBSPWorker(sub, prog, tr, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"worker %d: %s done in %d supersteps, %v (comp %v, comm %v, sync %v), %d msgs sent\n",
+		*worker, prog.Name(), res.Steps, res.WallTime.Round(time.Microsecond),
+		res.Stats.TotalComp().Round(time.Microsecond),
+		res.Stats.TotalComm().Round(time.Microsecond),
+		res.Stats.TotalSync().Round(time.Microsecond),
+		res.Stats.TotalSent())
+
+	w := os.Stdout
+	if *outPath != "" {
+		out, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		w = out
+	}
+	bw := bufio.NewWriter(w)
+	ids := make([]int, len(sub.GlobalIDs))
+	for i, gid := range sub.GlobalIDs {
+		ids[i] = int(gid)
+	}
+	sort.Ints(ids)
+	for _, gid := range ids {
+		local, _ := sub.LocalOf(ebv.VertexID(gid))
+		bw.WriteString(strconv.Itoa(gid))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatFloat(res.Values[local], 'g', -1, 64))
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

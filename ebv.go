@@ -1,0 +1,274 @@
+// Package ebv is the public API of this repository: a Go reproduction of
+// "An Efficient and Balanced Graph Partition Algorithm for the
+// Subgraph-Centric Programming Model on Large-scale Power-law Graphs"
+// (Zhang et al., ICDCS 2021).
+//
+// It re-exports the supported surface of the internal packages so that
+// downstream users never import internal/...:
+//
+//   - graph construction, IO and statistics (internal/graph),
+//   - synthetic workload generators (internal/gen),
+//   - the EBV partitioner — the paper's contribution (internal/core) —
+//     and the five competitor partitioners,
+//   - the subgraph-centric BSP engine with CC / PageRank / SSSP programs
+//     (internal/bsp, internal/apps),
+//   - the vertex-centric comparator engine (internal/pregel),
+//   - the experiment harness that regenerates every table and figure
+//     (internal/harness).
+//
+// Quick start:
+//
+//	g, err := ebv.PowerLaw(ebv.PowerLawConfig{
+//		NumVertices: 100000, NumEdges: 1000000, Eta: 2.2, Directed: true, Seed: 1,
+//	})
+//	// handle err
+//	part := ebv.NewEBV()
+//	assignment, err := part.Partition(g, 16)
+//	// handle err
+//	metrics, err := ebv.ComputeMetrics(g, assignment)
+//	// handle err
+//	fmt.Printf("replication factor: %.2f\n", metrics.ReplicationFactor)
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package ebv
+
+import (
+	"ebv/internal/apps"
+	"ebv/internal/bsp"
+	"ebv/internal/core"
+	"ebv/internal/gen"
+	"ebv/internal/ginger"
+	"ebv/internal/graph"
+	"ebv/internal/harness"
+	"ebv/internal/metis"
+	"ebv/internal/ne"
+	"ebv/internal/partition"
+	"ebv/internal/pregel"
+	"ebv/internal/transport"
+)
+
+// Graph substrate.
+type (
+	// Graph is an immutable directed graph (undirected inputs are stored
+	// as mirrored edge pairs).
+	Graph = graph.Graph
+	// Edge is a directed edge.
+	Edge = graph.Edge
+	// VertexID identifies a vertex; ids are dense in [0, NumVertices).
+	VertexID = graph.VertexID
+	// GraphStats is the Table I statistics bundle.
+	GraphStats = graph.Stats
+	// EdgeWeights assigns a weight to every edge (nil = unit weights).
+	EdgeWeights = graph.EdgeWeights
+)
+
+// Graph constructors and IO (see internal/graph for details).
+var (
+	NewGraph           = graph.New
+	NewUndirectedGraph = graph.NewUndirected
+	ReadEdgeList       = graph.ReadEdgeList
+	WriteEdgeList      = graph.WriteEdgeList
+	ReadBinaryGraph    = graph.ReadBinary
+	WriteBinaryGraph   = graph.WriteBinary
+	ComputeGraphStats  = graph.ComputeStats
+	ReverseGraph       = graph.Reverse
+	SimplifyGraph      = graph.Simplify
+	InducedSubgraph    = graph.InducedSubgraph
+	LargestComponent   = graph.LargestComponent
+	UniformWeights     = graph.UniformWeights
+	HashWeights        = graph.HashWeights
+)
+
+// Generators.
+type (
+	// PowerLawConfig parameterizes the Chung–Lu power-law generator.
+	PowerLawConfig = gen.PowerLawConfig
+	// RMATConfig parameterizes the R-MAT generator.
+	RMATConfig = gen.RMATConfig
+	// RoadConfig parameterizes the road-network generator.
+	RoadConfig = gen.RoadConfig
+	// ErdosRenyiConfig parameterizes the uniform random generator.
+	ErdosRenyiConfig = gen.ErdosRenyiConfig
+	// Analogue names one of the paper's four evaluation graphs.
+	Analogue = gen.Analogue
+)
+
+// Generator entry points.
+var (
+	PowerLaw    = gen.PowerLaw
+	RMAT        = gen.RMAT
+	Road        = gen.Road
+	ErdosRenyi  = gen.ErdosRenyi
+	TableIGraph = gen.TableIGraph
+)
+
+// The four Table I analogue graphs.
+const (
+	USARoad     = gen.USARoad
+	LiveJournal = gen.LiveJournal
+	Twitter     = gen.Twitter
+	Friendster  = gen.Friendster
+)
+
+// Partitioning.
+type (
+	// Partitioner assigns each edge to one of k subgraphs.
+	Partitioner = partition.Partitioner
+	// Assignment is an edge-to-subgraph mapping.
+	Assignment = partition.Assignment
+	// PartitionMetrics bundles the paper's §III-C quality metrics.
+	PartitionMetrics = partition.Metrics
+	// EBV is the paper's partitioner (create with NewEBV).
+	EBV = core.EBV
+	// EBVOption configures NewEBV.
+	EBVOption = core.Option
+	// DBH is degree-based hashing.
+	DBH = partition.DBH
+	// CVC is the 2-D cartesian vertex-cut.
+	CVC = partition.CVC
+	// RandomPartitioner is the 1-D hash baseline.
+	RandomPartitioner = partition.Random
+	// NE is neighbor expansion.
+	NE = ne.NE
+	// Metis is the multilevel edge-cut baseline.
+	Metis = metis.Metis
+	// Ginger is the PowerLyra hybrid-cut + Fennel baseline.
+	Ginger = ginger.Ginger
+	// HDRF is the High-Degree-Replicated-First streaming baseline.
+	HDRF = partition.HDRF
+	// Hybrid is PowerLyra's plain hybrid-cut.
+	Hybrid = partition.Hybrid
+	// Fennel is the streaming edge-cut baseline.
+	Fennel = partition.Fennel
+	// StreamingEBV is the one-pass EBV variant (§VII future work).
+	StreamingEBV = core.StreamingEBV
+	// StreamingEBVConfig configures NewStreamingEBV.
+	StreamingEBVConfig = core.StreamingConfig
+	// EBVStream adapts StreamingEBV to the Partitioner interface.
+	EBVStream = core.PartitionStream
+	// ParallelEBV is the epoch-synchronized distributed EBV (§VII).
+	ParallelEBV = core.ParallelEBV
+)
+
+// EBV construction and options (paper defaults: α = β = 1, sorted order).
+var (
+	NewEBV             = core.New
+	NewStreamingEBV    = core.NewStreaming
+	WithAlpha          = core.WithAlpha
+	WithBeta           = core.WithBeta
+	WithOrder          = core.WithOrder
+	WithGrowthTracking = core.WithGrowthTracking
+	ComputeMetrics     = partition.ComputeMetrics
+	// ExpectedRandomReplication is the analytical random vertex-cut
+	// replication model (PowerGraph's formula).
+	ExpectedRandomReplication = partition.ExpectedRandomReplication
+	WriteAssignmentText       = partition.WriteAssignmentText
+	ReadAssignmentText        = partition.ReadAssignmentText
+	WriteAssignmentBinary     = partition.WriteAssignmentBinary
+	ReadAssignmentBinary      = partition.ReadAssignmentBinary
+)
+
+// EBV edge-processing orders (§IV-C, §V-D).
+const (
+	OrderSorted     = core.OrderSorted
+	OrderInput      = core.OrderInput
+	OrderSortedDesc = core.OrderSortedDesc
+)
+
+// Subgraph-centric BSP engine (§IV-B).
+type (
+	// Subgraph is one worker's local view of a partitioned graph.
+	Subgraph = bsp.Subgraph
+	// Program is a subgraph-centric application.
+	Program = bsp.Program
+	// RunConfig tunes a BSP run.
+	RunConfig = bsp.Config
+	// RunResult is the outcome of a BSP run, with the §V-B breakdown.
+	RunResult = bsp.Result
+	// WorkerRunResult is one worker's outcome in a multi-process run.
+	WorkerRunResult = bsp.WorkerResult
+	// Message is a replica-synchronization message.
+	Message = transport.Message
+	// Transport moves messages between workers.
+	Transport = transport.Transport
+	// FaultInjector wraps a Transport to fail a chosen exchange — the
+	// failure-injection hook used in tests.
+	FaultInjector = transport.FaultInjector
+)
+
+// BSP entry points and transports.
+var (
+	BuildSubgraphs         = bsp.BuildSubgraphs
+	BuildSubgraphsWeighted = bsp.BuildSubgraphsWeighted
+	WriteSubgraph          = bsp.WriteSubgraph
+	ReadSubgraph           = bsp.ReadSubgraph
+	RunBSP                 = bsp.Run
+	RunBSPWorker           = bsp.RunWorker
+	NewMemTransport        = transport.NewMem
+	NewTCPMesh             = transport.NewTCPMesh
+	NewTCPWorker           = transport.NewTCPWorker
+)
+
+// Applications (§V-A) and sequential oracles.
+type (
+	// CC is subgraph-centric connected components.
+	CC = apps.CC
+	// PageRank is subgraph-centric PageRank.
+	PageRank = apps.PageRank
+	// SSSP is subgraph-centric single-source shortest paths.
+	SSSP = apps.SSSP
+	// Aggregate is subgraph-centric mean neighborhood aggregation — the
+	// GNN message-passing kernel of the paper's §VII outlook.
+	Aggregate = apps.Aggregate
+	// WeightedSSSP is SSSP over positive edge weights (local Dijkstra).
+	WeightedSSSP = apps.WeightedSSSP
+)
+
+// Sequential reference implementations (correctness oracles).
+var (
+	SequentialCC           = apps.SequentialCC
+	SequentialPageRank     = apps.SequentialPageRank
+	SequentialSSSP         = apps.SequentialSSSP
+	SequentialAggregate    = apps.SequentialAggregate
+	SequentialWeightedSSSP = apps.SequentialWeightedSSSP
+)
+
+// Vertex-centric comparator engine (Galois/Blogel stand-in, DESIGN.md §2).
+type (
+	// VertexProgram is a vertex-centric application.
+	VertexProgram = pregel.VertexProgram
+	// PregelConfig tunes a vertex-centric run.
+	PregelConfig = pregel.Config
+	// PregelResult is the outcome of a vertex-centric run.
+	PregelResult = pregel.Result
+)
+
+// Vertex-centric entry points and programs.
+var (
+	RunPregel = pregel.Run
+)
+
+// Vertex-centric application constructors.
+type (
+	// PregelCC is vertex-centric connected components.
+	PregelCC = pregel.CC
+	// PregelPageRank is vertex-centric PageRank.
+	PregelPageRank = pregel.PageRank
+	// PregelSSSP is vertex-centric SSSP.
+	PregelSSSP = pregel.SSSP
+)
+
+// Experiment harness (regenerates every table and figure; see DESIGN.md §4).
+type (
+	// ExperimentOptions configures the harness.
+	ExperimentOptions = harness.Options
+)
+
+// Harness entry points.
+var (
+	RunExperiment     = harness.Run
+	RunExperimentCSV  = harness.RunCSV
+	ExperimentNames   = harness.ExperimentNames
+	PaperPartitioners = harness.PaperPartitioners
+	PartitionerByName = harness.PartitionerByName
+)

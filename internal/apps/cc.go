@@ -1,0 +1,156 @@
+// Package apps implements the paper's three evaluation applications —
+// Connected Components, PageRank and Single-Source Shortest Path — as
+// subgraph-centric BSP programs ("think like a graph"), plus sequential
+// reference implementations used as correctness oracles by the tests.
+//
+// Each program follows the §IV-B model: the computation stage runs a full
+// sequential algorithm over the local subgraph (not one vertex step), and
+// the communication stage exchanges values only between replicas of cut
+// vertices. This is what lets the subgraph-centric model omit messages a
+// vertex-centric system would send across the network.
+package apps
+
+import (
+	"ebv/internal/bsp"
+	"ebv/internal/transport"
+)
+
+// CC computes connected components (treating edges as undirected, as the
+// paper's CC does): every vertex ends with the minimum global vertex id of
+// its component.
+//
+// Subgraph-centric formulation: each worker collapses its local subgraph
+// with a disjoint-set union once, so a whole local component acts as a
+// single super-vertex; supersteps only reconcile component labels across
+// replicas.
+type CC struct {
+	// SendAll, when true, re-sends the labels of ALL replicated vertices
+	// whenever any local component changed, instead of only the changed
+	// ones. It exists for the replica-sync ablation bench.
+	SendAll bool
+}
+
+var _ bsp.Program = (*CC)(nil)
+
+// Name implements bsp.Program.
+func (c *CC) Name() string { return "CC" }
+
+// NewWorker implements bsp.Program.
+func (c *CC) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
+	w := &ccWorker{
+		sub:     sub,
+		sendAll: c.SendAll,
+		dsu:     newDSU(sub.NumLocalVertices()),
+		label:   make([]float64, sub.NumLocalVertices()),
+	}
+	// Collapse the local subgraph: union endpoints of every local edge.
+	for _, e := range sub.Edges {
+		w.dsu.union(int32(e.Src), int32(e.Dst))
+	}
+	// Root labels start as the minimum covered global id of the component.
+	for l := range w.label {
+		w.label[l] = float64(sub.GlobalIDs[l])
+	}
+	for l := 0; l < sub.NumLocalVertices(); l++ {
+		r := w.dsu.find(int32(l))
+		if w.label[r] > float64(sub.GlobalIDs[l]) {
+			w.label[r] = float64(sub.GlobalIDs[l])
+		}
+	}
+	w.replicated = sub.ReplicatedVertices()
+	return w
+}
+
+type ccWorker struct {
+	sub        *bsp.Subgraph
+	sendAll    bool
+	dsu        *dsu
+	label      []float64 // valid at component roots
+	replicated []int32
+	// lastSent[i] is the label last broadcast for replicated vertex
+	// replicated[i]; used to suppress duplicate sends.
+	lastSent []float64
+}
+
+// Superstep implements bsp.WorkerProgram.
+func (w *ccWorker) Superstep(step int, in []transport.Message) (out [][]transport.Message, active bool) {
+	changed := false
+	for _, m := range in {
+		local, ok := w.sub.LocalOf(m.Vertex)
+		if !ok {
+			continue // defensive: message for a vertex we do not cover
+		}
+		r := w.dsu.find(local)
+		if m.Value < w.label[r] {
+			w.label[r] = m.Value
+			changed = true
+		}
+	}
+	if step == 0 {
+		w.lastSent = make([]float64, len(w.replicated))
+		for i := range w.lastSent {
+			w.lastSent[i] = -1 // force initial broadcast
+		}
+		changed = true
+	}
+	if !changed {
+		return nil, false
+	}
+	out = make([][]transport.Message, w.sub.NumWorkers)
+	for i, local := range w.replicated {
+		val := w.label[w.dsu.find(local)]
+		if !w.sendAll && val == w.lastSent[i] {
+			continue
+		}
+		w.lastSent[i] = val
+		gid := w.sub.GlobalIDs[local]
+		for _, peer := range w.sub.ReplicaPeers[local] {
+			out[peer] = append(out[peer], transport.Message{Vertex: gid, Value: val})
+		}
+	}
+	return out, false
+}
+
+// Values implements bsp.WorkerProgram.
+func (w *ccWorker) Values() []float64 {
+	vals := make([]float64, w.sub.NumLocalVertices())
+	for l := range vals {
+		vals[l] = w.label[w.dsu.find(int32(l))]
+	}
+	return vals
+}
+
+// dsu is a disjoint-set union with path halving and union by size.
+type dsu struct {
+	parent []int32
+	size   []int32
+}
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.size[i] = 1
+	}
+	return d
+}
+
+func (d *dsu) find(x int32) int32 {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+func (d *dsu) union(a, b int32) {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+}

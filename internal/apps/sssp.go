@@ -1,0 +1,132 @@
+package apps
+
+import (
+	"math"
+
+	"ebv/internal/bsp"
+	"ebv/internal/graph"
+	"ebv/internal/transport"
+)
+
+// SSSP computes single-source shortest paths over directed edges with unit
+// weights (the paper does not specify weights; unit weights make the
+// sequential oracle exact and keep the communication pattern identical to
+// the weighted case).
+//
+// Subgraph-centric formulation: the computation stage relaxes distances to
+// a local fixpoint (SPFA over the local out-adjacency); the communication
+// stage ships improved distances of replicated vertices to their peers.
+type SSSP struct {
+	// Source is the global source vertex.
+	Source graph.VertexID
+}
+
+var _ bsp.Program = (*SSSP)(nil)
+
+// Name implements bsp.Program.
+func (s *SSSP) Name() string { return "SSSP" }
+
+// NewWorker implements bsp.Program.
+func (s *SSSP) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
+	w := &ssspWorker{
+		sub:    sub,
+		source: s.Source,
+		dist:   make([]float64, sub.NumLocalVertices()),
+	}
+	for i := range w.dist {
+		w.dist[i] = math.Inf(1)
+	}
+	w.inQueue = make([]bool, sub.NumLocalVertices())
+	if local, ok := sub.LocalOf(s.Source); ok {
+		w.dist[local] = 0
+		w.push(local)
+	}
+	return w
+}
+
+type ssspWorker struct {
+	sub     *bsp.Subgraph
+	source  graph.VertexID
+	dist    []float64
+	queue   []int32
+	inQueue []bool
+	// improved marks replicated vertices whose distance improved since
+	// the last send.
+	improved map[int32]struct{}
+}
+
+func (w *ssspWorker) push(v int32) {
+	if !w.inQueue[v] {
+		w.inQueue[v] = true
+		w.queue = append(w.queue, v)
+	}
+}
+
+// relax runs SPFA over local out-edges until the local fixpoint.
+func (w *ssspWorker) relax() {
+	for len(w.queue) > 0 {
+		u := w.queue[0]
+		w.queue = w.queue[1:]
+		w.inQueue[u] = false
+		du := w.dist[u]
+		for _, v := range w.sub.Out.Neighbors(graph.VertexID(u)) {
+			if nd := du + 1; nd < w.dist[v] {
+				w.dist[v] = nd
+				w.markImproved(int32(v))
+				w.push(int32(v))
+			}
+		}
+	}
+}
+
+func (w *ssspWorker) markImproved(v int32) {
+	if !w.sub.IsReplicated(v) {
+		return
+	}
+	if w.improved == nil {
+		w.improved = make(map[int32]struct{})
+	}
+	w.improved[v] = struct{}{}
+}
+
+// Superstep implements bsp.WorkerProgram.
+func (w *ssspWorker) Superstep(step int, in []transport.Message) (out [][]transport.Message, active bool) {
+	for _, m := range in {
+		local, ok := w.sub.LocalOf(m.Vertex)
+		if !ok {
+			continue
+		}
+		if m.Value < w.dist[local] {
+			w.dist[local] = m.Value
+			w.push(local)
+		}
+	}
+	if step == 0 {
+		// If the source is a cut vertex, its zero distance must reach the
+		// peer replicas too.
+		if local, ok := w.sub.LocalOf(w.source); ok {
+			w.markImproved(local)
+		}
+	}
+	w.relax()
+	if len(w.improved) == 0 {
+		return nil, false
+	}
+	out = make([][]transport.Message, w.sub.NumWorkers)
+	for v := range w.improved {
+		gid := w.sub.GlobalIDs[v]
+		val := w.dist[v]
+		for _, peer := range w.sub.ReplicaPeers[v] {
+			out[peer] = append(out[peer], transport.Message{Vertex: gid, Value: val})
+		}
+	}
+	w.improved = nil
+	return out, false
+}
+
+// Values implements bsp.WorkerProgram.
+func (w *ssspWorker) Values() []float64 {
+	vals := make([]float64, len(w.dist))
+	copy(vals, w.dist)
+	return vals
+}

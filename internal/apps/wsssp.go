@@ -1,0 +1,192 @@
+package apps
+
+import (
+	"container/heap"
+	"math"
+
+	"ebv/internal/bsp"
+	"ebv/internal/graph"
+	"ebv/internal/transport"
+)
+
+// WeightedSSSP is SSSP over positive edge weights. The computation stage
+// runs Dijkstra (binary heap) to a local fixpoint over the subgraph's
+// weighted out-edges — the textbook demonstration of the subgraph-centric
+// model's strength: a whole sequential algorithm per superstep, per §IV-B.
+//
+// Attach weights with bsp.BuildSubgraphsWeighted; absent weights behave as
+// unit (making this a drop-in generalization of SSSP).
+type WeightedSSSP struct {
+	// Source is the global source vertex.
+	Source graph.VertexID
+}
+
+var _ bsp.Program = (*WeightedSSSP)(nil)
+
+// Name implements bsp.Program.
+func (s *WeightedSSSP) Name() string { return "WSSSP" }
+
+// NewWorker implements bsp.Program.
+func (s *WeightedSSSP) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
+	w := &wssspWorker{
+		sub:    sub,
+		source: s.Source,
+		dist:   make([]float64, sub.NumLocalVertices()),
+	}
+	for i := range w.dist {
+		w.dist[i] = math.Inf(1)
+	}
+	if local, ok := sub.LocalOf(s.Source); ok {
+		w.dist[local] = 0
+		w.frontier = append(w.frontier, local)
+	}
+	return w
+}
+
+type wssspWorker struct {
+	sub      *bsp.Subgraph
+	source   graph.VertexID
+	dist     []float64
+	frontier []int32
+	improved map[int32]struct{}
+}
+
+// distHeap is a min-heap of (vertex, distance) pairs for the local Dijkstra.
+type distHeap struct {
+	vertices []int32
+	dists    []float64
+}
+
+func (h *distHeap) Len() int           { return len(h.vertices) }
+func (h *distHeap) Less(i, j int) bool { return h.dists[i] < h.dists[j] }
+func (h *distHeap) Swap(i, j int) {
+	h.vertices[i], h.vertices[j] = h.vertices[j], h.vertices[i]
+	h.dists[i], h.dists[j] = h.dists[j], h.dists[i]
+}
+func (h *distHeap) Push(x interface{}) {
+	pair := x.([2]float64)
+	h.vertices = append(h.vertices, int32(pair[0]))
+	h.dists = append(h.dists, pair[1])
+}
+func (h *distHeap) Pop() interface{} {
+	n := len(h.vertices)
+	pair := [2]float64{float64(h.vertices[n-1]), h.dists[n-1]}
+	h.vertices = h.vertices[:n-1]
+	h.dists = h.dists[:n-1]
+	return pair
+}
+
+func (w *wssspWorker) markImproved(v int32) {
+	if !w.sub.IsReplicated(v) {
+		return
+	}
+	if w.improved == nil {
+		w.improved = make(map[int32]struct{})
+	}
+	w.improved[v] = struct{}{}
+}
+
+// relax runs Dijkstra from the current frontier to the local fixpoint.
+func (w *wssspWorker) relax() {
+	h := &distHeap{}
+	for _, v := range w.frontier {
+		heap.Push(h, [2]float64{float64(v), w.dist[v]})
+	}
+	w.frontier = w.frontier[:0]
+	for h.Len() > 0 {
+		pair := heap.Pop(h).([2]float64)
+		u, du := int32(pair[0]), pair[1]
+		if du > w.dist[u] {
+			continue // stale entry
+		}
+		neighbors := w.sub.Out.Neighbors(graph.VertexID(u))
+		edgeIdx := w.sub.Out.EdgeIndices(graph.VertexID(u))
+		for j, v := range neighbors {
+			nd := du + w.sub.EdgeWeight(edgeIdx[j])
+			if nd < w.dist[v] {
+				w.dist[v] = nd
+				w.markImproved(int32(v))
+				heap.Push(h, [2]float64{float64(v), nd})
+			}
+		}
+	}
+}
+
+// Superstep implements bsp.WorkerProgram.
+func (w *wssspWorker) Superstep(step int, in []transport.Message) (out [][]transport.Message, active bool) {
+	for _, m := range in {
+		local, ok := w.sub.LocalOf(m.Vertex)
+		if !ok {
+			continue
+		}
+		if m.Value < w.dist[local] {
+			w.dist[local] = m.Value
+			w.frontier = append(w.frontier, local)
+		}
+	}
+	if step == 0 {
+		if local, ok := w.sub.LocalOf(w.source); ok {
+			w.markImproved(local)
+		}
+	}
+	w.relax()
+	if len(w.improved) == 0 {
+		return nil, false
+	}
+	out = make([][]transport.Message, w.sub.NumWorkers)
+	for v := range w.improved {
+		gid := w.sub.GlobalIDs[v]
+		val := w.dist[v]
+		for _, peer := range w.sub.ReplicaPeers[v] {
+			out[peer] = append(out[peer], transport.Message{Vertex: gid, Value: val})
+		}
+	}
+	w.improved = nil
+	return out, false
+}
+
+// Values implements bsp.WorkerProgram.
+func (w *wssspWorker) Values() []float64 {
+	vals := make([]float64, len(w.dist))
+	copy(vals, w.dist)
+	return vals
+}
+
+// SequentialWeightedSSSP is the Dijkstra oracle for WeightedSSSP.
+// weights may be nil (unit weights).
+func SequentialWeightedSSSP(g *graph.Graph, src graph.VertexID, weights graph.EdgeWeights) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if int(src) >= n {
+		return dist
+	}
+	weight := func(i int32) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[i]
+	}
+	csr := graph.BuildCSR(g)
+	dist[src] = 0
+	h := &distHeap{}
+	heap.Push(h, [2]float64{float64(src), 0})
+	for h.Len() > 0 {
+		pair := heap.Pop(h).([2]float64)
+		u, du := graph.VertexID(pair[0]), pair[1]
+		if du > dist[u] {
+			continue
+		}
+		neighbors := csr.Neighbors(u)
+		edgeIdx := csr.EdgeIndices(u)
+		for j, v := range neighbors {
+			if nd := du + weight(edgeIdx[j]); nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, [2]float64{float64(v), nd})
+			}
+		}
+	}
+	return dist
+}

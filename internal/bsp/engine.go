@@ -1,0 +1,284 @@
+package bsp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ebv/internal/graph"
+	"ebv/internal/transport"
+)
+
+// Program is a subgraph-centric application: it instantiates one
+// WorkerProgram per subgraph.
+type Program interface {
+	// Name returns the application name ("CC", "PR", "SSSP").
+	Name() string
+	// NewWorker binds the program to one subgraph.
+	NewWorker(sub *Subgraph) WorkerProgram
+}
+
+// WorkerProgram is a program instance bound to one worker/subgraph.
+type WorkerProgram interface {
+	// Superstep runs the computation stage: it consumes the messages
+	// delivered at the end of the previous superstep and returns outgoing
+	// batches indexed by destination worker. Returning active=false votes
+	// to halt; the engine keeps every worker in lock-step until no worker
+	// is active and no messages were sent anywhere in the step.
+	//
+	// The in slice is reused by the engine and is only valid during the
+	// call; programs must not retain it.
+	Superstep(step int, in []transport.Message) (out [][]transport.Message, active bool)
+	// Values returns the final value of every local vertex (local index).
+	Values() []float64
+}
+
+// ErrMaxSteps reports that a run hit the superstep safety cap.
+var ErrMaxSteps = errors.New("bsp: exceeded max supersteps without converging")
+
+// Config tunes a Run.
+type Config struct {
+	// Transports supplies one transport per worker (e.g. a TCP mesh). Nil
+	// selects a shared in-memory transport. If exactly one transport is
+	// given and it serves all workers (the Mem case), it is shared.
+	Transports []transport.Transport
+	// MaxSteps is the superstep safety cap (default 100000).
+	MaxSteps int
+	// VerifyReplicaAgreement makes Run fail if, at termination, replicas
+	// of the same vertex disagree. Tests enable it; benches do not pay
+	// for it.
+	VerifyReplicaAgreement bool
+}
+
+// WorkerStats records a worker's per-superstep instrumentation.
+type WorkerStats struct {
+	// Comp[k], Comm[k], Sync[k] are the stage durations of superstep k
+	// (§IV-B stages). Comm excludes barrier wait; Sync is the wait.
+	Comp []time.Duration
+	Comm []time.Duration
+	Sync []time.Duration
+	// Sent[k] counts messages sent in superstep k to OTHER workers.
+	Sent []int64
+	// Received[k] counts messages received from other workers.
+	Received []int64
+}
+
+// TotalSent sums messages sent across supersteps.
+func (w *WorkerStats) TotalSent() int64 {
+	var total int64
+	for _, s := range w.Sent {
+		total += s
+	}
+	return total
+}
+
+// TotalComp sums computation time across supersteps.
+func (w *WorkerStats) TotalComp() time.Duration { return sumDur(w.Comp) }
+
+// TotalComm sums communication time across supersteps.
+func (w *WorkerStats) TotalComm() time.Duration { return sumDur(w.Comm) }
+
+// TotalSync sums synchronization wait across supersteps.
+func (w *WorkerStats) TotalSync() time.Duration { return sumDur(w.Sync) }
+
+func sumDur(ds []time.Duration) time.Duration {
+	var total time.Duration
+	for _, d := range ds {
+		total += d
+	}
+	return total
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Steps is the number of supersteps executed.
+	Steps int
+	// Workers holds per-worker instrumentation, indexed by worker id.
+	Workers []WorkerStats
+	// Values maps every global vertex covered by some subgraph to its
+	// final value.
+	Values map[graph.VertexID]float64
+	// WallTime is the end-to-end execution time (excluding partitioning
+	// and subgraph construction, matching the paper's methodology).
+	WallTime time.Duration
+}
+
+// Run partitions nothing: it executes prog over the given subgraphs (built
+// with BuildSubgraphs) until global quiescence.
+func Run(subs []*Subgraph, prog Program, cfg Config) (*Result, error) {
+	k := len(subs)
+	if k == 0 {
+		return nil, errors.New("bsp: no subgraphs")
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+
+	transports, cleanup, err := resolveTransports(cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	res := &Result{Workers: make([]WorkerStats, k)}
+	workerValues := make([][]float64, k)
+	errs := make([]error, k)
+	steps := make([]int, k)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			steps[w], workerValues[w], errs[w] =
+				runWorker(w, subs[w], prog, transports[w], maxSteps, &res.Workers[w])
+		}(w)
+	}
+	wg.Wait()
+	res.WallTime = time.Since(start)
+
+	for w := 0; w < k; w++ {
+		if errs[w] != nil {
+			return nil, fmt.Errorf("bsp: worker %d: %w", w, errs[w])
+		}
+	}
+	res.Steps = steps[0]
+
+	res.Values = make(map[graph.VertexID]float64, subs[0].NumGlobalVertices)
+	for w := 0; w < k; w++ {
+		for local, gid := range subs[w].GlobalIDs {
+			val := workerValues[w][local]
+			if cfg.VerifyReplicaAgreement {
+				if prev, ok := res.Values[gid]; ok && prev != val {
+					return nil, fmt.Errorf(
+						"bsp: replicas of vertex %d disagree: %g vs %g (worker %d)",
+						gid, prev, val, w)
+				}
+			}
+			res.Values[gid] = val
+		}
+	}
+	return res, nil
+}
+
+// resolveTransports normalizes cfg.Transports: nil → one shared Mem.
+func resolveTransports(cfg Config, k int) ([]transport.Transport, func(), error) {
+	if len(cfg.Transports) == 0 {
+		mem, err := transport.NewMem(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		ts := make([]transport.Transport, k)
+		for i := range ts {
+			ts[i] = mem
+		}
+		return ts, func() { _ = mem.Close() }, nil
+	}
+	if len(cfg.Transports) == 1 && k > 1 {
+		ts := make([]transport.Transport, k)
+		for i := range ts {
+			ts[i] = cfg.Transports[0]
+		}
+		return ts, func() {}, nil
+	}
+	if len(cfg.Transports) != k {
+		return nil, nil, fmt.Errorf("bsp: %d transports for %d workers", len(cfg.Transports), k)
+	}
+	return cfg.Transports, func() {}, nil
+}
+
+// runWorker is the per-worker superstep loop. It returns the executed
+// superstep count and the final local vertex values.
+func runWorker(w int, sub *Subgraph, prog Program, tr transport.Transport,
+	maxSteps int, stats *WorkerStats) (int, []float64, error) {
+	wp := prog.NewWorker(sub)
+	var inbox []transport.Message
+	for step := 0; step < maxSteps; step++ {
+		t0 := time.Now()
+		out, active := wp.Superstep(step, inbox)
+		comp := time.Since(t0)
+
+		var sent int64
+		for dst, batch := range out {
+			if dst != w {
+				sent += int64(len(batch))
+			}
+		}
+		// A worker with outbound messages must stay active so receivers
+		// get a superstep to process them.
+		effectiveActive := active || sent > 0 || (len(out) > w && len(out[w]) > 0)
+
+		t1 := time.Now()
+		ex, err := tr.Exchange(w, step, out, effectiveActive)
+		if err != nil {
+			return step, nil, fmt.Errorf("exchange step %d: %w", step, err)
+		}
+		commsync := time.Since(t1)
+		comm := commsync - ex.Wait
+		if comm < 0 {
+			comm = 0
+		}
+
+		var received int64
+		inbox = inbox[:0]
+		for src, batch := range ex.In {
+			if src != w {
+				received += int64(len(batch))
+			}
+			inbox = append(inbox, batch...)
+		}
+
+		stats.Comp = append(stats.Comp, comp)
+		stats.Comm = append(stats.Comm, comm)
+		stats.Sync = append(stats.Sync, ex.Wait)
+		stats.Sent = append(stats.Sent, sent)
+		stats.Received = append(stats.Received, received)
+
+		if !ex.AnyActive {
+			return step + 1, wp.Values(), nil
+		}
+	}
+	return maxSteps, nil, ErrMaxSteps
+}
+
+// WorkerResult is the outcome of a single worker's participation in a
+// multi-process run (RunWorker).
+type WorkerResult struct {
+	// Steps is the number of supersteps executed.
+	Steps int
+	// Values holds the final value of every local vertex (local index).
+	Values []float64
+	// Stats is this worker's instrumentation.
+	Stats WorkerStats
+	// WallTime is this worker's end-to-end time.
+	WallTime time.Duration
+}
+
+// RunWorker executes ONE worker of a distributed computation over the
+// given transport (typically transport.NewTCPWorker); the peer workers run
+// in other processes. It blocks until global quiescence.
+func RunWorker(sub *Subgraph, prog Program, tr transport.Transport, maxSteps int) (*WorkerResult, error) {
+	if sub == nil {
+		return nil, errors.New("bsp: nil subgraph")
+	}
+	if tr.NumWorkers() != sub.NumWorkers {
+		return nil, fmt.Errorf("bsp: transport has %d workers, subgraph expects %d",
+			tr.NumWorkers(), sub.NumWorkers)
+	}
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	res := &WorkerResult{}
+	start := time.Now()
+	steps, values, err := runWorker(sub.Part, sub, prog, tr, maxSteps, &res.Stats)
+	if err != nil {
+		return nil, fmt.Errorf("bsp: worker %d: %w", sub.Part, err)
+	}
+	res.Steps = steps
+	res.Values = values
+	res.WallTime = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,40 @@
+package bsp_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"ebv/internal/apps"
+	"ebv/internal/bsp"
+	"ebv/internal/core"
+)
+
+// TestRunLeaksNoGoroutines asserts that repeated engine runs do not leave
+// worker or transport goroutines behind (the guide's "don't fire-and-forget
+// goroutines" rule, checked empirically).
+func TestRunLeaksNoGoroutines(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	subs := buildSubs(t, g, core.New(), 4)
+	// Warm up once so lazily-started runtime goroutines don't skew counts.
+	if _, err := bsp.Run(subs, &apps.CC{}, bsp.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		if _, err := bsp.Run(subs, &apps.CC{}, bsp.Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow stragglers to exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after 10 runs", before, runtime.NumGoroutine())
+}

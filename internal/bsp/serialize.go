@@ -1,0 +1,85 @@
+package bsp
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"ebv/internal/graph"
+)
+
+// Subgraph serialization for the multi-process deployment path: the
+// coordinator partitions the graph once and writes one subgraph file per
+// worker (cmd/ebv-partition -subgraph-dir); each ebv-worker process loads
+// only its own file, so no process ever holds the whole graph.
+
+// subgraphWire is the gob-encoded form of a Subgraph (the localOf index is
+// rebuilt on load instead of shipped).
+type subgraphWire struct {
+	Part              int
+	NumWorkers        int
+	NumGlobalVertices int
+	GlobalIDs         []graph.VertexID
+	Edges             []graph.Edge
+	ReplicaPeers      [][]int32
+	GlobalOutDegree   []int32
+	GlobalInDegree    []int32
+	Weights           []float64
+}
+
+// WriteSubgraph serializes sub.
+func WriteSubgraph(w io.Writer, sub *Subgraph) error {
+	enc := gob.NewEncoder(w)
+	wire := subgraphWire{
+		Part:              sub.Part,
+		NumWorkers:        sub.NumWorkers,
+		NumGlobalVertices: sub.NumGlobalVertices,
+		GlobalIDs:         sub.GlobalIDs,
+		Edges:             sub.Edges,
+		ReplicaPeers:      sub.ReplicaPeers,
+		GlobalOutDegree:   sub.GlobalOutDegree,
+		GlobalInDegree:    sub.GlobalInDegree,
+		Weights:           sub.Weights,
+	}
+	if err := enc.Encode(wire); err != nil {
+		return fmt.Errorf("bsp: encode subgraph %d: %w", sub.Part, err)
+	}
+	return nil
+}
+
+// ReadSubgraph deserializes a subgraph written by WriteSubgraph and
+// rebuilds its derived structures (local index, CSR views).
+func ReadSubgraph(r io.Reader) (*Subgraph, error) {
+	dec := gob.NewDecoder(r)
+	var wire subgraphWire
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("bsp: decode subgraph: %w", err)
+	}
+	sub := &Subgraph{
+		Part:              wire.Part,
+		NumWorkers:        wire.NumWorkers,
+		NumGlobalVertices: wire.NumGlobalVertices,
+		GlobalIDs:         wire.GlobalIDs,
+		Edges:             wire.Edges,
+		ReplicaPeers:      wire.ReplicaPeers,
+		GlobalOutDegree:   wire.GlobalOutDegree,
+		GlobalInDegree:    wire.GlobalInDegree,
+		Weights:           wire.Weights,
+		localOf:           make(map[graph.VertexID]int32, len(wire.GlobalIDs)),
+	}
+	for local, gid := range sub.GlobalIDs {
+		sub.localOf[gid] = int32(local)
+	}
+	if len(sub.ReplicaPeers) != len(sub.GlobalIDs) ||
+		len(sub.GlobalOutDegree) != len(sub.GlobalIDs) {
+		return nil, fmt.Errorf("bsp: corrupt subgraph: %d ids, %d peers, %d degrees",
+			len(sub.GlobalIDs), len(sub.ReplicaPeers), len(sub.GlobalOutDegree))
+	}
+	lg, err := graph.New(sub.NumLocalVertices(), sub.Edges)
+	if err != nil {
+		return nil, fmt.Errorf("bsp: rebuild local graph: %w", err)
+	}
+	sub.Out = graph.BuildCSR(lg)
+	sub.In = graph.BuildReverseCSR(lg)
+	return sub, nil
+}

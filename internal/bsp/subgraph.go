@@ -1,0 +1,200 @@
+// Package bsp implements the subgraph-centric, bulk synchronous parallel
+// processing framework of §IV-B of the paper (the DRONE substitute): the
+// whole graph is divided into subgraphs, each bound to one worker, and
+// processing proceeds in supersteps of three stages — computation
+// (update the subgraph), communication (exchange messages between replicas
+// of cut vertices only), and synchronization (barrier).
+//
+// The engine records, per worker and per superstep, the computation time
+// comp_i^k, the communication time comm_i^k and the synchronization wait,
+// which reproduce the Table II / Figure 4 breakdowns, plus per-worker
+// message counts for Tables IV and V.
+package bsp
+
+import (
+	"fmt"
+	"sort"
+
+	"ebv/internal/graph"
+	"ebv/internal/partition"
+)
+
+// Subgraph is one worker's local view of a partitioned graph: the edges
+// assigned to it, their covering vertex set re-labelled into a dense local
+// id space, and the replication routing table.
+type Subgraph struct {
+	// Part is this subgraph's id (== worker id).
+	Part int
+	// NumWorkers is the total number of subgraphs.
+	NumWorkers int
+	// NumGlobalVertices is |V| of the whole graph.
+	NumGlobalVertices int
+	// GlobalIDs maps local vertex ids to global ones (ascending).
+	GlobalIDs []graph.VertexID
+	// Edges are the local edges with endpoints in LOCAL id space.
+	Edges []graph.Edge
+	// Out and In are local CSR adjacency views over Edges.
+	Out *graph.CSR
+	In  *graph.CSR
+	// ReplicaPeers[local] lists the other workers holding a replica of the
+	// vertex (sorted ascending, self excluded); empty for internal vertices.
+	ReplicaPeers [][]int32
+	// GlobalOutDegree[local] is the vertex's out-degree in the whole graph
+	// (PageRank divides by it).
+	GlobalOutDegree []int32
+	// GlobalInDegree[local] is the vertex's in-degree in the whole graph
+	// (the feature-aggregation program normalizes by it).
+	GlobalInDegree []int32
+	// Weights holds per-local-edge weights aligned with Edges; nil means
+	// unit weights (set by BuildSubgraphsWeighted).
+	Weights []float64
+
+	localOf map[graph.VertexID]int32
+}
+
+// NumLocalVertices returns |Vi|.
+func (s *Subgraph) NumLocalVertices() int { return len(s.GlobalIDs) }
+
+// NumLocalEdges returns |Ei|.
+func (s *Subgraph) NumLocalEdges() int { return len(s.Edges) }
+
+// LocalOf returns the local id of global vertex v, if v is covered here.
+func (s *Subgraph) LocalOf(v graph.VertexID) (int32, bool) {
+	l, ok := s.localOf[v]
+	return l, ok
+}
+
+// IsReplicated reports whether the local vertex also lives on other workers.
+func (s *Subgraph) IsReplicated(local int32) bool {
+	return len(s.ReplicaPeers[local]) > 0
+}
+
+// Master returns the lowest worker id holding a replica of the local
+// vertex (possibly this worker). Master-based programs (PageRank) route
+// partial aggregates through it.
+func (s *Subgraph) Master(local int32) int32 {
+	peers := s.ReplicaPeers[local]
+	if len(peers) == 0 || int32(s.Part) < peers[0] {
+		return int32(s.Part)
+	}
+	return peers[0]
+}
+
+// BuildSubgraphs materializes the per-worker subgraphs of assignment a
+// over g, including the replica routing tables.
+func BuildSubgraphs(g *graph.Graph, a *partition.Assignment) ([]*Subgraph, error) {
+	if len(a.Parts) != g.NumEdges() {
+		return nil, fmt.Errorf("bsp: assignment covers %d edges, graph has %d",
+			len(a.Parts), g.NumEdges())
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("bsp: %w", err)
+	}
+	k := a.K
+	replicas := partition.BuildReplicas(g, a)
+
+	// Pass 1: covered vertex sets per part (sorted by construction).
+	vertexSets := a.VertexSets(g)
+	subs := make([]*Subgraph, k)
+	for p := 0; p < k; p++ {
+		count := vertexSets[p].Count()
+		sub := &Subgraph{
+			Part:              p,
+			NumWorkers:        k,
+			NumGlobalVertices: g.NumVertices(),
+			GlobalIDs:         make([]graph.VertexID, 0, count),
+			ReplicaPeers:      make([][]int32, count),
+			GlobalOutDegree:   make([]int32, count),
+			GlobalInDegree:    make([]int32, count),
+			localOf:           make(map[graph.VertexID]int32, count),
+		}
+		vertexSets[p].Range(func(v int) {
+			local := int32(len(sub.GlobalIDs))
+			sub.GlobalIDs = append(sub.GlobalIDs, graph.VertexID(v))
+			sub.localOf[graph.VertexID(v)] = local
+			sub.GlobalOutDegree[local] = int32(g.OutDegree(graph.VertexID(v)))
+			sub.GlobalInDegree[local] = int32(g.InDegree(graph.VertexID(v)))
+			all := replicas.Parts(graph.VertexID(v))
+			if len(all) > 1 {
+				peers := make([]int32, 0, len(all)-1)
+				for _, q := range all {
+					if int(q) != p {
+						peers = append(peers, q)
+					}
+				}
+				sub.ReplicaPeers[local] = peers
+			}
+		})
+		subs[p] = sub
+	}
+
+	// Pass 2: local edge lists.
+	counts := a.EdgeCounts()
+	for p := 0; p < k; p++ {
+		subs[p].Edges = make([]graph.Edge, 0, counts[p])
+	}
+	for i, e := range g.Edges() {
+		p := a.Parts[i]
+		sub := subs[p]
+		ls := sub.localOf[e.Src]
+		ld := sub.localOf[e.Dst]
+		sub.Edges = append(sub.Edges, graph.Edge{Src: graph.VertexID(ls), Dst: graph.VertexID(ld)})
+	}
+
+	// Pass 3: local CSR views.
+	for p := 0; p < k; p++ {
+		lg, err := graph.New(subs[p].NumLocalVertices(), subs[p].Edges)
+		if err != nil {
+			return nil, fmt.Errorf("bsp: build local graph of part %d: %w", p, err)
+		}
+		subs[p].Out = graph.BuildCSR(lg)
+		subs[p].In = graph.BuildReverseCSR(lg)
+	}
+	return subs, nil
+}
+
+// EdgeWeight returns the weight of the local edge with index i (1 when no
+// weights are attached).
+func (s *Subgraph) EdgeWeight(i int32) float64 {
+	if s.Weights == nil {
+		return 1
+	}
+	return s.Weights[i]
+}
+
+// BuildSubgraphsWeighted is BuildSubgraphs plus per-subgraph edge weights
+// carried over from the global weight vector (aligned with g's edge list).
+func BuildSubgraphsWeighted(g *graph.Graph, a *partition.Assignment,
+	weights graph.EdgeWeights) ([]*Subgraph, error) {
+	if weights != nil && len(weights) != g.NumEdges() {
+		return nil, fmt.Errorf("bsp: %d weights for %d edges", len(weights), g.NumEdges())
+	}
+	subs, err := BuildSubgraphs(g, a)
+	if err != nil {
+		return nil, err
+	}
+	if weights == nil {
+		return subs, nil
+	}
+	for p := range subs {
+		subs[p].Weights = make([]float64, 0, len(subs[p].Edges))
+	}
+	for i := range g.Edges() {
+		p := a.Parts[i]
+		subs[p].Weights = append(subs[p].Weights, weights[i])
+	}
+	return subs, nil
+}
+
+// ReplicatedVertices returns the local ids of all replicated vertices in
+// ascending order (convenience for programs that iterate the boundary).
+func (s *Subgraph) ReplicatedVertices() []int32 {
+	out := make([]int32, 0, len(s.GlobalIDs)/4)
+	for l := range s.ReplicaPeers {
+		if len(s.ReplicaPeers[l]) > 0 {
+			out = append(out, int32(l))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

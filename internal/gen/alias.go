@@ -1,0 +1,100 @@
+// Package gen generates the synthetic workload graphs used by the
+// experiment harness. The paper evaluates on four SNAP/DIMACS graphs
+// (USARoad, LiveJournal, Twitter, Friendster); those downloads are not
+// available offline, so this package produces scaled-down analogues whose
+// defining property — the degree-distribution exponent η of §III-A — matches
+// the originals. DESIGN.md §2 records the substitution argument.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"ebv/internal/rng"
+)
+
+// aliasTable samples indices proportionally to a fixed weight vector in
+// O(1) per draw (Walker's alias method, as presented by Vose 1991).
+type aliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// newAliasTable builds an alias table over weights. All weights must be
+// non-negative with a positive sum.
+func newAliasTable(weights []float64) (*aliasTable, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("gen: alias table over empty weights")
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("gen: negative weight %g at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("gen: weights sum to %g, want > 0", total)
+	}
+	t := &aliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small {
+		t.prob[i] = 1 // numerical leftovers
+	}
+	return t, nil
+}
+
+// sample draws one index.
+func (t *aliasTable) sample(r *rng.Source) int32 {
+	i := int32(r.Intn(len(t.prob)))
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}
+
+// powerLawWeights returns n weights w_i ∝ (i+1)^(-1/(eta-1)). Sampling
+// vertices proportionally to these weights yields an expected degree
+// distribution P(d) ∝ d^-eta (Chung & Lu 2002). eta must be > 1.
+func powerLawWeights(n int, eta float64) ([]float64, error) {
+	if eta <= 1 {
+		return nil, fmt.Errorf("gen: power-law exponent eta=%g, want > 1", eta)
+	}
+	alpha := 1 / (eta - 1)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -alpha)
+	}
+	return w, nil
+}

@@ -1,0 +1,79 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"ebv/internal/graph"
+	"ebv/internal/rng"
+)
+
+// ZipfDegrees returns a degree sequence of length n following a Zipf
+// distribution with exponent eta (P(degree=d) ∝ d^-eta), truncated to
+// [1, maxDegree]. The sequence is deterministic for a given seed and its
+// sum is made even (one unit added to a random entry if needed) so it is
+// realizable by the configuration model.
+func ZipfDegrees(n int, eta float64, maxDegree int, seed uint64) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: zipf needs positive n, got %d", n)
+	}
+	if eta <= 1 {
+		return nil, fmt.Errorf("gen: zipf exponent eta=%g, want > 1", eta)
+	}
+	if maxDegree < 1 {
+		maxDegree = n - 1
+		if maxDegree < 1 {
+			maxDegree = 1
+		}
+	}
+	// Build the truncated Zipf pmf and sample by inverse CDF over an
+	// alias table (reusing the machinery from the Chung–Lu generator).
+	weights := make([]float64, maxDegree)
+	for d := 1; d <= maxDegree; d++ {
+		weights[d-1] = math.Pow(float64(d), -eta)
+	}
+	table, err := newAliasTable(weights)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(seed)
+	degrees := make([]int, n)
+	sum := 0
+	for i := range degrees {
+		degrees[i] = int(table.sample(r)) + 1
+		sum += degrees[i]
+	}
+	if sum%2 == 1 {
+		degrees[r.Intn(n)]++
+	}
+	return degrees, nil
+}
+
+// FromDegreeSequence builds an undirected multigraph realizing the given
+// degree sequence with the configuration model: each vertex contributes
+// deg(v) stubs, the stub list is shuffled, and consecutive stubs are
+// paired. Self-loops and multi-edges can occur (as the model prescribes);
+// pass the result through graph.Simplify for a simple graph.
+func FromDegreeSequence(degrees []int, seed uint64) (*graph.Graph, error) {
+	var stubs []graph.VertexID
+	total := 0
+	for v, d := range degrees {
+		if d < 0 {
+			return nil, fmt.Errorf("gen: negative degree %d at vertex %d", d, v)
+		}
+		total += d
+		for j := 0; j < d; j++ {
+			stubs = append(stubs, graph.VertexID(v))
+		}
+	}
+	if total%2 != 0 {
+		return nil, fmt.Errorf("gen: degree sum %d is odd, not realizable", total)
+	}
+	r := rng.New(seed)
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	edges := make([]graph.Edge, 0, len(stubs)/2)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		edges = append(edges, graph.Edge{Src: stubs[i], Dst: stubs[i+1]})
+	}
+	return graph.NewUndirected(len(degrees), edges)
+}

@@ -1,0 +1,134 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"ebv/internal/graph"
+	"ebv/internal/rng"
+)
+
+// PowerLawConfig parameterizes the Chung–Lu power-law generator.
+type PowerLawConfig struct {
+	// NumVertices is the vertex count.
+	NumVertices int
+	// NumEdges is the number of (directed input) edges to draw. For an
+	// undirected graph the stored edge count is doubled by mirroring.
+	NumEdges int
+	// Eta is the target degree-distribution exponent (lower = more skewed);
+	// the paper's graphs range from 1.87 (Twitter) to 2.64 (LiveJournal).
+	Eta float64
+	// Directed selects directed (Twitter/LiveJournal-style) or undirected
+	// (Friendster-style) output.
+	Directed bool
+	// Seed makes the output deterministic.
+	Seed uint64
+	// DropSelfLoops removes self loops (kept by default so |E| is exact).
+	DropSelfLoops bool
+}
+
+// PowerLaw generates a power-law graph by the Chung–Lu fixed-edge-count
+// construction: both endpoints of each edge are drawn independently from a
+// vertex distribution with weights w_i ∝ (i+1)^(-1/(η-1)), which yields an
+// expected degree distribution P(d) ∝ d^-η. Vertex IDs are then relabeled
+// by a seeded permutation so that ID order carries no degree information
+// (several partitioners hash raw IDs).
+func PowerLaw(cfg PowerLawConfig) (*graph.Graph, error) {
+	if cfg.NumVertices <= 0 || cfg.NumEdges < 0 {
+		return nil, fmt.Errorf("gen: power-law config needs positive sizes, got V=%d E=%d",
+			cfg.NumVertices, cfg.NumEdges)
+	}
+	weights, err := powerLawWeights(cfg.NumVertices, cfg.Eta)
+	if err != nil {
+		return nil, err
+	}
+	table, err := newAliasTable(weights)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	relabel := r.Perm(cfg.NumVertices)
+	edges := make([]graph.Edge, 0, cfg.NumEdges)
+	for len(edges) < cfg.NumEdges {
+		src := table.sample(r)
+		dst := table.sample(r)
+		if cfg.DropSelfLoops && src == dst {
+			continue
+		}
+		edges = append(edges, graph.Edge{
+			Src: graph.VertexID(relabel[src]),
+			Dst: graph.VertexID(relabel[dst]),
+		})
+	}
+	if cfg.Directed {
+		return graph.New(cfg.NumVertices, edges)
+	}
+	return graph.NewUndirected(cfg.NumVertices, edges)
+}
+
+// Analogue names a scaled-down stand-in for one of the paper's four
+// evaluation graphs (Table I).
+type Analogue int
+
+// The four Table I graphs.
+const (
+	USARoad Analogue = iota + 1
+	LiveJournal
+	Twitter
+	Friendster
+)
+
+// String returns the analogue's Table I name.
+func (a Analogue) String() string {
+	switch a {
+	case USARoad:
+		return "USARoad"
+	case LiveJournal:
+		return "LiveJournal"
+	case Twitter:
+		return "Twitter"
+	case Friendster:
+		return "Friendster"
+	default:
+		return fmt.Sprintf("Analogue(%d)", int(a))
+	}
+}
+
+// Analogues lists the four Table I graphs in the paper's η-descending order.
+func Analogues() []Analogue {
+	return []Analogue{USARoad, LiveJournal, Friendster, Twitter}
+}
+
+// TableIGraph generates the scaled analogue of one of the paper's four
+// graphs. scale multiplies the baseline vertex/edge counts (scale 1 ≈ 20k
+// vertices, suitable for tests; the bench harness uses larger scales).
+// Directedness and η match Table I exactly.
+func TableIGraph(a Analogue, scale float64, seed uint64) (*graph.Graph, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("gen: scale must be positive, got %g", scale)
+	}
+	v := func(base int) int { return max(64, int(float64(base)*scale)) }
+	switch a {
+	case USARoad:
+		// Non-power-law: high diameter, near-uniform degree ≈ 2.4.
+		side := max(8, int(float64(140)*math.Sqrt(scale)))
+		return Road(RoadConfig{Width: side, Height: side, Seed: seed})
+	case LiveJournal:
+		return PowerLaw(PowerLawConfig{
+			NumVertices: v(20000), NumEdges: v(285000),
+			Eta: 2.64, Directed: true, Seed: seed,
+		})
+	case Twitter:
+		return PowerLaw(PowerLawConfig{
+			NumVertices: v(20000), NumEdges: v(705000),
+			Eta: 1.87, Directed: true, Seed: seed,
+		})
+	case Friendster:
+		return PowerLaw(PowerLawConfig{
+			NumVertices: v(24000), NumEdges: v(330000),
+			Eta: 2.43, Directed: false, Seed: seed,
+		})
+	default:
+		return nil, fmt.Errorf("gen: unknown analogue %d", int(a))
+	}
+}

@@ -1,0 +1,68 @@
+package gen
+
+import (
+	"fmt"
+
+	"ebv/internal/graph"
+	"ebv/internal/rng"
+)
+
+// RMATConfig parameterizes the recursive-matrix (R-MAT, Chakrabarti et al.
+// 2004) generator. R-MAT graphs exhibit power-law in- and out-degrees with
+// community structure, and are the standard web/social synthetic workload
+// (Graph500 uses A,B,C = 0.57,0.19,0.19).
+type RMATConfig struct {
+	// ScaleLog2 sets the vertex count to 2^ScaleLog2.
+	ScaleLog2 int
+	// NumEdges is the number of edges to draw.
+	NumEdges int
+	// A, B, C are the recursive quadrant probabilities (D = 1-A-B-C).
+	// Zero values default to the Graph500 parameters.
+	A, B, C float64
+	// Directed selects directed output; undirected mirrors edges.
+	Directed bool
+	// Seed makes the output deterministic.
+	Seed uint64
+}
+
+// RMAT generates an R-MAT graph.
+func RMAT(cfg RMATConfig) (*graph.Graph, error) {
+	if cfg.ScaleLog2 <= 0 || cfg.ScaleLog2 > 30 {
+		return nil, fmt.Errorf("gen: rmat scale %d out of range (1..30)", cfg.ScaleLog2)
+	}
+	if cfg.NumEdges < 0 {
+		return nil, fmt.Errorf("gen: rmat needs non-negative edge count, got %d", cfg.NumEdges)
+	}
+	if cfg.A == 0 && cfg.B == 0 && cfg.C == 0 {
+		cfg.A, cfg.B, cfg.C = 0.57, 0.19, 0.19
+	}
+	if cfg.A+cfg.B+cfg.C >= 1 {
+		return nil, fmt.Errorf("gen: rmat quadrant probabilities sum to %g, want < 1",
+			cfg.A+cfg.B+cfg.C)
+	}
+	r := rng.New(cfg.Seed)
+	n := 1 << cfg.ScaleLog2
+	edges := make([]graph.Edge, cfg.NumEdges)
+	for i := range edges {
+		var src, dst int
+		for level := 0; level < cfg.ScaleLog2; level++ {
+			u := r.Float64()
+			switch {
+			case u < cfg.A:
+				// top-left: no bits set
+			case u < cfg.A+cfg.B:
+				dst |= 1 << level
+			case u < cfg.A+cfg.B+cfg.C:
+				src |= 1 << level
+			default:
+				src |= 1 << level
+				dst |= 1 << level
+			}
+		}
+		edges[i] = graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)}
+	}
+	if cfg.Directed {
+		return graph.New(n, edges)
+	}
+	return graph.NewUndirected(n, edges)
+}

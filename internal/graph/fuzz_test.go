@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks that arbitrary text input never panics the
+// parser and that anything it accepts survives a write/read round trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5\t7\n")
+	f.Add("")
+	f.Add("a b\n")
+	f.Add("4294967295 0\n")
+	f.Add("1 2 3 4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input), false)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write accepted graph: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf, false)
+		if err != nil {
+			t.Fatalf("re-read own output: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edge count %d -> %d", g.NumEdges(), g2.NumEdges())
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary graph reader against corrupt input.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with one valid file and a few corruptions of it.
+	g, err := New(3, []Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 0}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := WriteBinary(&valid, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	truncated := valid.Bytes()[:len(valid.Bytes())-3]
+	f.Add(truncated)
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted graphs must be internally consistent.
+		for i := 0; i < g.NumEdges(); i++ {
+			e := g.Edge(i)
+			if int(e.Src) >= g.NumVertices() || int(e.Dst) >= g.NumVertices() {
+				t.Fatalf("accepted graph has out-of-range edge %v", e)
+			}
+		}
+	})
+}

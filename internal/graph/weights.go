@@ -1,0 +1,46 @@
+package graph
+
+// EdgeWeights assigns a positive weight to every edge of a Graph, aligned
+// with its edge list. A nil EdgeWeights means unit weights everywhere.
+// Weights live outside Graph so the partitioners (which are weight-
+// oblivious, like the paper's) share one graph representation with the
+// weighted applications.
+type EdgeWeights []float64
+
+// UniformWeights returns unit weights for g.
+func UniformWeights(g *Graph) EdgeWeights {
+	w := make(EdgeWeights, g.NumEdges())
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// HashWeights returns deterministic pseudo-random weights in [minW, maxW),
+// derived from the *unordered* endpoint pair so that the two directions of
+// a mirrored undirected edge always carry the same weight (required for
+// symmetric shortest paths on road networks).
+func HashWeights(g *Graph, seed uint64, minW, maxW float64) EdgeWeights {
+	if maxW <= minW {
+		maxW = minW + 1
+	}
+	span := maxW - minW
+	w := make(EdgeWeights, g.NumEdges())
+	for i, e := range g.Edges() {
+		lo, hi := e.Src, e.Dst
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		h := mix64((uint64(lo)<<32 | uint64(hi)) ^ seed)
+		w[i] = minW + span*float64(h>>11)/(1<<53)
+	}
+	return w
+}
+
+// mix64 is the SplitMix64 finalizer.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

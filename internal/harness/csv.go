@@ -1,0 +1,271 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV exporters: every experiment result can be dumped as tidy (long-form)
+// CSV for external plotting. Columns are stable and documented per method.
+
+// WriteCSV writes `graph,type,vertices,edges,avg_degree,eta` rows.
+func (r *Table1Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"graph", "type", "vertices", "edges", "avg_degree", "eta"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Graph, row.Type,
+			strconv.Itoa(row.NumVertices), strconv.Itoa(row.NumEdges),
+			formatFloat(row.AverageDegree), formatFloat(row.Eta),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes `graph,eta,workers,algorithm,edge_imbalance,
+// vertex_imbalance,replication_factor` rows.
+func (r *Table3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"graph", "eta", "workers", "algorithm",
+		"edge_imbalance", "vertex_imbalance", "replication_factor"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for _, c := range row.Cells {
+			if err := cw.Write([]string{
+				row.Graph, formatFloat(row.Eta), strconv.Itoa(row.Workers), c.Algorithm,
+				formatFloat(c.EdgeImbalance), formatFloat(c.VertexImbalance),
+				formatFloat(c.ReplicationFactor),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes `graph,workers,algorithm,total_messages,max_mean_ratio,
+// replication_factor` rows (shared by Tables IV and V).
+func (r *MessagesResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"graph", "workers", "algorithm",
+		"total_messages", "max_mean_ratio", "replication_factor"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		for _, c := range row.Cells {
+			if err := cw.Write([]string{
+				row.Graph, strconv.Itoa(row.Workers), c.Algorithm,
+				strconv.FormatInt(c.TotalMessages, 10),
+				formatFloat(c.MaxMeanRatio),
+				formatFloat(c.Metrics.ReplicationFactor),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes `app,graph,series,workers,time_ns,messages` rows.
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"app", "graph", "series", "workers", "time_ns", "messages"}); err != nil {
+		return err
+	}
+	for _, panel := range r.Panels {
+		for _, s := range panel.Series {
+			for _, pt := range s.Points {
+				if err := cw.Write([]string{
+					string(panel.App), panel.Graph, s.Series,
+					strconv.Itoa(pt.Workers),
+					strconv.FormatInt(pt.Time.Nanoseconds(), 10),
+					strconv.FormatInt(pt.Messages, 10),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes `graph,variant,subgraphs,edges_processed,replication_factor`
+// rows — the Figure 5 curves, one sample per row.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"graph", "variant", "subgraphs", "edges_processed", "replication_factor"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range r.Curves {
+		for i := range c.EdgesProcessed {
+			if err := cw.Write([]string{
+				c.Graph, c.Variant, strconv.Itoa(c.Subgraphs),
+				strconv.Itoa(c.EdgesProcessed[i]),
+				formatFloat(c.ReplicationFactor[i]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes `algorithm,comp_ns,comm_ns,delta_c_ns,execution_ns` rows.
+func (r *Table2Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "comp_ns", "comm_ns", "delta_c_ns", "execution_ns"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Algorithm,
+			strconv.FormatInt(row.Comp.Nanoseconds(), 10),
+			strconv.FormatInt(row.Comm.Nanoseconds(), 10),
+			strconv.FormatInt(row.DeltaC.Nanoseconds(), 10),
+			strconv.FormatInt(row.Execution.Nanoseconds(), 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes `algorithm,worker,stage,start_ns,end_ns` segment rows.
+func (r *Fig4Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "worker", "step", "stage", "start_ns", "end_ns"}); err != nil {
+		return err
+	}
+	for _, panel := range r.Panels {
+		for _, seg := range panel.Segments {
+			if err := cw.Write([]string{
+				panel.Algorithm,
+				strconv.Itoa(seg.Worker),
+				strconv.Itoa(seg.Step),
+				seg.Stage,
+				strconv.FormatInt(seg.Start.Nanoseconds(), 10),
+				strconv.FormatInt(seg.End.Nanoseconds(), 10),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', 6, 64)
+}
+
+// RunCSV executes the named experiment and writes its CSV form to w.
+func RunCSV(name string, opt Options, w io.Writer) error {
+	switch name {
+	case "table1":
+		r, err := Table1(opt)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	case "table2":
+		r, err := Table2(opt)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	case "table3":
+		r, err := Table3(opt)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	case "table4", "table5":
+		r, err := Table4(opt)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	case "fig2":
+		r, err := Fig2(opt)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	case "fig3":
+		r, err := Fig3(opt)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	case "fig4":
+		r, err := Fig4(opt)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	case "fig5":
+		r, err := Fig5(opt)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	case "ablation-sort":
+		r, err := AblationSortOrder(opt)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	case "ablation-alphabeta":
+		r, err := AblationAlphaBeta(opt)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	case "ablation-streaming":
+		r, err := AblationStreaming(opt)
+		if err != nil {
+			return err
+		}
+		return r.WriteCSV(w)
+	default:
+		return fmt.Errorf("harness: experiment %q has no CSV form", name)
+	}
+}
+
+// WriteCSV writes `config,graph,subgraphs,edge_imbalance,vertex_imbalance,
+// replication_factor` rows.
+func (r *AblationResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"config", "graph", "subgraphs",
+		"edge_imbalance", "vertex_imbalance", "replication_factor"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Config, row.Graph, strconv.Itoa(row.Subgraphs),
+			formatFloat(row.EdgeImbalance), formatFloat(row.VertexImbalance),
+			formatFloat(row.ReplicationFactor),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse csv: %v", err)
+	}
+	return records
+}
+
+func TestTable1CSV(t *testing.T) {
+	r, err := Table1(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 5 {
+		t.Fatalf("%d records, want 5", len(records))
+	}
+	if records[0][0] != "graph" || records[0][5] != "eta" {
+		t.Fatalf("header %v", records[0])
+	}
+}
+
+func TestTable3CSV(t *testing.T) {
+	r, err := Table3(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	// header + 4 graphs × 6 algorithms.
+	if len(records) != 1+4*6 {
+		t.Fatalf("%d records, want 25", len(records))
+	}
+}
+
+func TestMessagesCSV(t *testing.T) {
+	r, err := Table4(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 1+4*6 {
+		t.Fatalf("%d records", len(records))
+	}
+	for _, rec := range records[1:] {
+		if rec[3] == "" || strings.HasPrefix(rec[3], "-") {
+			t.Fatalf("bad message count %q", rec[3])
+		}
+	}
+}
+
+func TestSweepCSV(t *testing.T) {
+	r, err := Fig3(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	// header + 2 apps × 7 series × 2 worker counts.
+	if len(records) != 1+2*7*2 {
+		t.Fatalf("%d records", len(records))
+	}
+}
+
+func TestFig5CSV(t *testing.T) {
+	r, err := Fig5(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) < 24*10 {
+		t.Fatalf("only %d curve samples", len(records))
+	}
+}
+
+func TestTable2AndFig4CSV(t *testing.T) {
+	r2, err := Table2(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r2.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(parseCSV(t, &buf)); got != 7 {
+		t.Fatalf("table2 csv records = %d, want 7", got)
+	}
+	r4, err := Fig4(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := r4.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) < 1+6*4*3 { // ≥ 6 algos × 4 workers × 3 stages × steps
+		t.Fatalf("fig4 csv records = %d", len(records))
+	}
+}
+
+func TestRunCSVDispatch(t *testing.T) {
+	for _, name := range ExperimentNames() {
+		if name == "fig2" {
+			continue // covered by the (slow) Fig2 test below
+		}
+		var buf bytes.Buffer
+		if err := RunCSV(name, testOpt(), &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s: empty csv", name)
+		}
+	}
+	if err := RunCSV("nosuch", testOpt(), &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig2SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig2 sweep is slow")
+	}
+	opt := Options{Scale: 0.08, Seed: 3, PageRankIters: 2, Workers: []int{2}}
+	r, err := Fig2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 apps × 3 graphs panels, 7 series each.
+	if len(r.Panels) != 9 {
+		t.Fatalf("%d panels, want 9", len(r.Panels))
+	}
+	for _, p := range r.Panels {
+		if len(p.Series) != 7 {
+			t.Fatalf("%s/%s: %d series", p.App, p.Graph, len(p.Series))
+		}
+	}
+	// EBV must send no more CC messages than DBH/CVC on the most skewed
+	// graph (Figure 2's mechanism).
+	panel, ok := r.Panel(AppCC, "Twitter")
+	if !ok {
+		t.Fatal("no CC/Twitter panel")
+	}
+	ebvSeries, _ := panel.SeriesByName("EBV")
+	dbhSeries, _ := panel.SeriesByName("DBH")
+	if ebvSeries.Points[0].Messages > dbhSeries.Points[0].Messages {
+		t.Errorf("EBV CC messages %d > DBH %d on Twitter",
+			ebvSeries.Points[0].Messages, dbhSeries.Points[0].Messages)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4ChromeTrace(t *testing.T) {
+	r, err := Fig4(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// Metadata events: 6 algorithms x (1 process + 4 threads).
+	meta := 0
+	complete := 0
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e["dur"].(float64) <= 0 {
+				t.Fatal("non-positive duration event emitted")
+			}
+		}
+	}
+	if meta != 6*(1+4) {
+		t.Fatalf("%d metadata events, want 30", meta)
+	}
+	if complete == 0 {
+		t.Fatal("no duration events")
+	}
+}

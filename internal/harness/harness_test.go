@@ -1,0 +1,400 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testOpt is small enough for CI but large enough that the paper's
+// qualitative shapes are visible.
+func testOpt() Options {
+	return Options{Scale: 0.15, Seed: 2021, PageRankIters: 4, Workers: []int{2, 4}}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(r.Rows))
+	}
+	road, ok := r.Row("USARoad")
+	if !ok {
+		t.Fatal("no USARoad row")
+	}
+	twitter, ok := r.Row("Twitter")
+	if !ok {
+		t.Fatal("no Twitter row")
+	}
+	// Table I shape: Twitter is the most skewed (lowest η), USARoad the
+	// least; Twitter has the highest average degree.
+	if twitter.Eta >= road.Eta {
+		t.Errorf("eta(Twitter)=%.2f >= eta(USARoad)=%.2f", twitter.Eta, road.Eta)
+	}
+	if twitter.AverageDegree <= road.AverageDegree {
+		t.Errorf("avg degree ordering inverted: twitter %.2f <= road %.2f",
+			twitter.AverageDegree, road.AverageDegree)
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "USARoad") {
+		t.Error("print output missing graph name")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r, err := Table3(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(r.Rows))
+	}
+	for _, graphName := range []string{"LiveJournal", "Twitter", "Friendster"} {
+		row, ok := r.Row(graphName)
+		if !ok {
+			t.Fatalf("no %s row", graphName)
+		}
+		ebv, _ := row.Cell("EBV")
+		ginger, _ := row.Cell("Ginger")
+		dbh, _ := row.Cell("DBH")
+		cvc, _ := row.Cell("CVC")
+		ne, _ := row.Cell("NE")
+		met, _ := row.Cell("METIS")
+
+		// Paper claim 1: EBV has the lowest RF among self-based
+		// algorithms (Ginger, DBH, CVC).
+		for _, other := range []Table3Cell{ginger, dbh, cvc} {
+			if ebv.ReplicationFactor >= other.ReplicationFactor {
+				t.Errorf("%s: EBV RF %.3f >= %s RF %.3f", graphName,
+					ebv.ReplicationFactor, other.Algorithm, other.ReplicationFactor)
+			}
+		}
+		// Paper claim 2: EBV stays balanced on power-law graphs. (The
+		// paper's 1.00 is on graphs ~1000x larger; Theorem 1's slack term
+		// (p-1)/|E| is visible at this scale, so allow 1.10.)
+		if ebv.EdgeImbalance > 1.10 || ebv.VertexImbalance > 1.15 {
+			t.Errorf("%s: EBV imbalances %.3f/%.3f", graphName,
+				ebv.EdgeImbalance, ebv.VertexImbalance)
+		}
+		// Paper claim 3: NE xor METIS blow up one imbalance dimension on
+		// power-law graphs.
+		if ne.VertexImbalance < ebv.VertexImbalance {
+			t.Errorf("%s: NE vertex imbalance %.3f below EBV's %.3f", graphName,
+				ne.VertexImbalance, ebv.VertexImbalance)
+		}
+		if met.EdgeImbalance < 1.2 {
+			t.Errorf("%s: METIS edge imbalance %.3f, expected blow-up", graphName,
+				met.EdgeImbalance)
+		}
+	}
+	// Paper claim 4: on the road graph, NE and METIS achieve RF close to 1
+	// and below EBV's.
+	road, _ := r.Row("USARoad")
+	ebv, _ := road.Cell("EBV")
+	ne, _ := road.Cell("NE")
+	if ne.ReplicationFactor >= ebv.ReplicationFactor {
+		t.Errorf("road: NE RF %.3f >= EBV RF %.3f", ne.ReplicationFactor, ebv.ReplicationFactor)
+	}
+}
+
+func TestTables4And5Shape(t *testing.T) {
+	r, err := Table4(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5 := &Table5Result{MessagesResult: r.MessagesResult}
+	for _, graphName := range []string{"LiveJournal", "Twitter", "Friendster"} {
+		row, ok := r.Row(graphName)
+		if !ok {
+			t.Fatalf("no %s row", graphName)
+		}
+		ebv, _ := row.Cell("EBV")
+		ginger, _ := row.Cell("Ginger")
+		dbh, _ := row.Cell("DBH")
+		cvc, _ := row.Cell("CVC")
+		// Table IV claim: EBV sends fewer messages than Ginger, DBH, CVC.
+		for _, other := range []MessageCell{ginger, dbh, cvc} {
+			if ebv.TotalMessages >= other.TotalMessages {
+				t.Errorf("%s: EBV msgs %d >= %s msgs %d", graphName,
+					ebv.TotalMessages, other.Algorithm, other.TotalMessages)
+			}
+		}
+		// Table V claim: self-based algorithms stay balanced; NE/METIS
+		// message balance is worse than EBV's.
+		ne, _ := row.Cell("NE")
+		met, _ := row.Cell("METIS")
+		if ebv.MaxMeanRatio > 1.5 {
+			t.Errorf("%s: EBV max/mean %.3f", graphName, ebv.MaxMeanRatio)
+		}
+		if ne.MaxMeanRatio <= ebv.MaxMeanRatio && met.MaxMeanRatio <= ebv.MaxMeanRatio {
+			t.Errorf("%s: neither NE (%.3f) nor METIS (%.3f) above EBV (%.3f)",
+				graphName, ne.MaxMeanRatio, met.MaxMeanRatio, ebv.MaxMeanRatio)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r5.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r, err := Table2(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Execution <= 0 {
+			t.Errorf("%s: zero execution time", row.Algorithm)
+		}
+		if row.DeltaC < 0 {
+			t.Errorf("%s: negative ΔC", row.Algorithm)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig3Runs(t *testing.T) {
+	r, err := Fig3(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Panels) != 2 {
+		t.Fatalf("%d panels, want 2", len(r.Panels))
+	}
+	panel, ok := r.Panel(AppCC, "USARoad")
+	if !ok {
+		t.Fatal("no CC/USARoad panel")
+	}
+	// 6 partitioners + VC comparator.
+	if len(panel.Series) != 7 {
+		t.Fatalf("%d series, want 7", len(panel.Series))
+	}
+	for _, s := range panel.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %s has %d points, want 2", s.Series, len(s.Points))
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r, err := Fig5(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 graphs × 4 subgraph counts × 2 variants.
+	if len(r.Curves) != 24 {
+		t.Fatalf("%d curves, want 24", len(r.Curves))
+	}
+	for _, graphName := range []string{"LiveJournal", "Twitter", "Friendster"} {
+		for _, k := range Fig5SubgraphCounts() {
+			sorted, ok := r.Curve(graphName, "sort", k)
+			if !ok {
+				t.Fatalf("missing sort curve %s/%d", graphName, k)
+			}
+			unsorted, ok := r.Curve(graphName, "unsort", k)
+			if !ok {
+				t.Fatalf("missing unsort curve %s/%d", graphName, k)
+			}
+			// §V-D: EBV-sort ends below EBV-unsort, with a margin that
+			// grows in k — so require strict improvement for k >= 8 and
+			// mere non-degradation (1% tolerance) at k = 4.
+			if k >= 8 && sorted.Final() >= unsorted.Final() {
+				t.Errorf("%s k=%d: sort final RF %.3f >= unsort %.3f",
+					graphName, k, sorted.Final(), unsorted.Final())
+			}
+			if k == 4 && sorted.Final() > unsorted.Final()*1.01 {
+				t.Errorf("%s k=%d: sort final RF %.3f far above unsort %.3f",
+					graphName, k, sorted.Final(), unsorted.Final())
+			}
+			// Curves are monotone non-decreasing.
+			for i := 1; i < len(sorted.ReplicationFactor); i++ {
+				if sorted.ReplicationFactor[i] < sorted.ReplicationFactor[i-1] {
+					t.Fatalf("%s k=%d: sort curve decreases", graphName, k)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4Runs(t *testing.T) {
+	r, err := Fig4(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Panels) != 6 {
+		t.Fatalf("%d panels, want 6", len(r.Panels))
+	}
+	for _, p := range r.Panels {
+		if len(p.PerWorker) != 4 {
+			t.Fatalf("%s: %d workers, want 4", p.Algorithm, len(p.PerWorker))
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table1", testOpt(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+	if err := Run("nosuch", testOpt(), &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(ExperimentNames()) != 12 {
+		t.Fatalf("%d experiments, want 12", len(ExperimentNames()))
+	}
+}
+
+func TestPartitionerByName(t *testing.T) {
+	for _, name := range []string{"EBV", "EBV-unsort", "EBV-sort-desc", "Ginger", "NE", "METIS", "DBH", "CVC", "Random"} {
+		p, err := PartitionerByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("PartitionerByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := PartitionerByName("bogus"); err == nil {
+		t.Fatal("bogus name accepted")
+	}
+}
+
+func TestAblationSortOrderShape(t *testing.T) {
+	r, err := AblationSortOrder(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 9 { // 3 graphs x 3 variants
+		t.Fatalf("%d rows, want 9", len(r.Rows))
+	}
+	for _, graphName := range []string{"LiveJournal", "Twitter", "Friendster"} {
+		sorted, _ := r.Row("EBV-sort", graphName)
+		desc, _ := r.Row("EBV-sort-desc", graphName)
+		// Descending order (hubs first) must not beat the paper's order.
+		if sorted.ReplicationFactor > desc.ReplicationFactor {
+			t.Errorf("%s: sort RF %.3f > desc RF %.3f",
+				graphName, sorted.ReplicationFactor, desc.ReplicationFactor)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationAlphaBetaShape(t *testing.T) {
+	r, err := AblationAlphaBeta(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(r.Rows))
+	}
+	// Theorem 1 direction: more alpha, tighter edge balance.
+	hiAlpha, _ := r.Row("a=10 b=1", "Twitter")
+	loAlpha, _ := r.Row("a=1 b=10", "Twitter")
+	if hiAlpha.EdgeImbalance > loAlpha.EdgeImbalance {
+		t.Errorf("alpha=10 EIF %.3f > alpha=1 EIF %.3f",
+			hiAlpha.EdgeImbalance, loAlpha.EdgeImbalance)
+	}
+}
+
+func TestAblationStreamingShape(t *testing.T) {
+	r, err := AblationStreaming(testOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 18 { // 3 graphs x 6 configs
+		t.Fatalf("%d rows, want 18", len(r.Rows))
+	}
+	for _, graphName := range []string{"LiveJournal", "Twitter", "Friendster"} {
+		offline, _ := r.Row("EBV", graphName)
+		stream, _ := r.Row("EBV-stream", graphName)
+		// Offline EBV (with the sort) must beat the one-pass variant.
+		if offline.ReplicationFactor > stream.ReplicationFactor {
+			t.Errorf("%s: offline RF %.3f > stream RF %.3f",
+				graphName, offline.ReplicationFactor, stream.ReplicationFactor)
+		}
+	}
+}
+
+func TestExtendedTables(t *testing.T) {
+	opt := testOpt()
+	opt.Extended = true
+	r, err := Table3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 paper + 5 extended columns.
+	if got := len(r.Rows[0].Cells); got != 11 {
+		t.Fatalf("%d columns, want 11", got)
+	}
+	for _, name := range []string{"HDRF", "Hybrid", "Fennel", "EBV-stream", "EBV-parallel"} {
+		if _, ok := r.Rows[0].Cell(name); !ok {
+			t.Errorf("missing extended column %s", name)
+		}
+	}
+	// EBV (offline, sorted) still has the lowest RF among the EBV family
+	// on power-law graphs.
+	row, _ := r.Row("Twitter")
+	ebvCell, _ := row.Cell("EBV")
+	streamCell, _ := row.Cell("EBV-stream")
+	if ebvCell.ReplicationFactor > streamCell.ReplicationFactor {
+		t.Errorf("offline EBV RF %.3f above streaming %.3f",
+			ebvCell.ReplicationFactor, streamCell.ReplicationFactor)
+	}
+}
+
+func TestTable2Repeat(t *testing.T) {
+	opt := testOpt()
+	opt.Repeat = 3
+	r, err := Table2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.ExecutionStddev <= 0 {
+			t.Errorf("%s: no stddev with Repeat=3", row.Algorithm)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "±") {
+		t.Error("printed table missing ± spread")
+	}
+}

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"ebv/internal/gen"
+)
+
+// This file reproduces Tables IV and V: the total number of communication
+// messages and the max/mean per-worker message ratio for the CC algorithm,
+// per graph and per partitioner, using the paper's worker counts.
+
+// MessageCell holds one partitioner's message statistics on one graph.
+type MessageCell struct {
+	Algorithm     string
+	TotalMessages int64
+	MaxMeanRatio  float64
+	// Metrics echoes the Table III numbers shown in parentheses in the
+	// paper's Tables IV and V.
+	Metrics Table3Cell
+}
+
+// MessageRow is one graph's row.
+type MessageRow struct {
+	Graph   string
+	Workers int
+	Cells   []MessageCell
+}
+
+// Cell returns the named algorithm's cell.
+func (r MessageRow) Cell(algorithm string) (MessageCell, bool) {
+	for _, c := range r.Cells {
+		if c.Algorithm == algorithm {
+			return c, true
+		}
+	}
+	return MessageCell{}, false
+}
+
+// MessagesResult underlies both Table IV and Table V (they are two views
+// of the same runs).
+type MessagesResult struct {
+	Rows []MessageRow
+}
+
+// Row returns the named graph's row.
+func (r *MessagesResult) Row(name string) (MessageRow, bool) {
+	for _, row := range r.Rows {
+		if row.Graph == name {
+			return row, true
+		}
+	}
+	return MessageRow{}, false
+}
+
+// messagesCache memoizes the shared Table IV/V runs per Options.
+func computeMessages(opt Options) (*MessagesResult, error) {
+	res := &MessagesResult{}
+	for _, analogue := range gen.Analogues() {
+		g, err := Graph(analogue, opt)
+		if err != nil {
+			return nil, err
+		}
+		k := PaperWorkerCount(analogue)
+		row := MessageRow{Graph: analogue.String(), Workers: k}
+		for _, p := range opt.tablePartitioners() {
+			metrics, err := metricsCell(g, p, k)
+			if err != nil {
+				return nil, err
+			}
+			run, err := runBSP(g, p, k, AppCC, opt)
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, MessageCell{
+				Algorithm:     p.Name(),
+				TotalMessages: run.TotalMessages(),
+				MaxMeanRatio:  run.MaxMeanMessageRatio(),
+				Metrics:       metrics,
+			})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table4Result reproduces Table IV: total CC communication messages.
+type Table4Result struct{ MessagesResult }
+
+// Table4 runs CC with each partitioner on each graph and counts messages.
+func Table4(opt Options) (*Table4Result, error) {
+	m, err := computeMessages(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Table4Result{MessagesResult: *m}, nil
+}
+
+// Print renders Table IV in the paper's layout (replication factor in
+// parentheses).
+func (r *Table4Result) Print(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"Table IV: total CC communication messages (replication factor)"); err != nil {
+		return err
+	}
+	header := []string{"Graph", "p"}
+	if len(r.Rows) > 0 {
+		for _, c := range r.Rows[0].Cells {
+			header = append(header, c.Algorithm)
+		}
+	}
+	t := newTable(header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Graph, fmt.Sprintf("%d", row.Workers)}
+		for _, c := range row.Cells {
+			cells = append(cells, fmt.Sprintf("%.2e (%.2f)",
+				float64(c.TotalMessages), c.Metrics.ReplicationFactor))
+		}
+		t.addRow(cells...)
+	}
+	return t.write(w)
+}
+
+// Table5Result reproduces Table V: max/mean per-worker message ratios.
+type Table5Result struct{ MessagesResult }
+
+// Table5 reports the communication balance of the same CC runs.
+func Table5(opt Options) (*Table5Result, error) {
+	m, err := computeMessages(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Table5Result{MessagesResult: *m}, nil
+}
+
+// Print renders Table V in the paper's layout (imbalance factors in
+// parentheses).
+func (r *Table5Result) Print(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"Table V: max/mean CC message ratio (edge/vertex imbalance factors)"); err != nil {
+		return err
+	}
+	header := []string{"Graph", "p"}
+	if len(r.Rows) > 0 {
+		for _, c := range r.Rows[0].Cells {
+			header = append(header, c.Algorithm)
+		}
+	}
+	t := newTable(header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Graph, fmt.Sprintf("%d", row.Workers)}
+		for _, c := range row.Cells {
+			cells = append(cells, fmt.Sprintf("%.3f (%.2f/%.2f)",
+				c.MaxMeanRatio, c.Metrics.EdgeImbalance, c.Metrics.VertexImbalance))
+		}
+		t.addRow(cells...)
+	}
+	return t.write(w)
+}

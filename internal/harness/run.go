@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+
+	"ebv/internal/apps"
+	"ebv/internal/bsp"
+	"ebv/internal/graph"
+	"ebv/internal/partition"
+	"ebv/internal/pregel"
+)
+
+// App names the three evaluation applications.
+type App string
+
+// The paper's three applications (§V-A).
+const (
+	AppCC   App = "CC"
+	AppPR   App = "PR"
+	AppSSSP App = "SSSP"
+)
+
+// Apps lists them in the paper's order.
+func Apps() []App { return []App{AppCC, AppPR, AppSSSP} }
+
+// program builds the subgraph-centric program for an app.
+func (a App) program(opt Options) (bsp.Program, error) {
+	switch a {
+	case AppCC:
+		return &apps.CC{}, nil
+	case AppPR:
+		return &apps.PageRank{Iterations: opt.prIters()}, nil
+	case AppSSSP:
+		return &apps.SSSP{Source: 0}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown app %q", a)
+	}
+}
+
+// vertexProgram builds the vertex-centric comparator program for an app.
+func (a App) vertexProgram(opt Options) (pregel.VertexProgram, error) {
+	switch a {
+	case AppCC:
+		return &pregel.CC{}, nil
+	case AppPR:
+		return &pregel.PageRank{Iterations: opt.prIters()}, nil
+	case AppSSSP:
+		return &pregel.SSSP{Source: 0}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown app %q", a)
+	}
+}
+
+// runBSP partitions g with p into k subgraphs and runs the app on the
+// subgraph-centric engine over the in-memory transport.
+func runBSP(g *graph.Graph, p partition.Partitioner, k int, app App, opt Options) (*bsp.Result, error) {
+	a, err := p.Partition(g, k)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s partition: %w", p.Name(), err)
+	}
+	subs, err := bsp.BuildSubgraphs(g, a)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s subgraphs: %w", p.Name(), err)
+	}
+	prog, err := app.program(opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bsp.Run(subs, prog, bsp.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("harness: run %s over %s: %w", app, p.Name(), err)
+	}
+	return res, nil
+}
+
+// runVC runs the vertex-centric comparator engine.
+func runVC(g *graph.Graph, k int, app App, opt Options) (*pregel.Result, error) {
+	prog, err := app.vertexProgram(opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pregel.Run(g, k, prog, pregel.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("harness: vertex-centric %s: %w", app, err)
+	}
+	return res, nil
+}

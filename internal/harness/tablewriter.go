@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// tableWriter renders aligned ASCII tables for the experiment printers.
+type tableWriter struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *tableWriter {
+	return &tableWriter{header: header}
+}
+
+func (t *tableWriter) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *tableWriter) addRowf(format string, args ...interface{}) {
+	t.addRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+func (t *tableWriter) write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, width := range widths {
+		total += width + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteChromeTrace exports the Figure 4 per-worker timelines in the Chrome
+// trace-event format (the JSON array form), loadable in chrome://tracing
+// or Perfetto. Each partitioner becomes a process, each worker a thread,
+// each comp/comm/sync stage a complete ("X") event.
+func (r *Fig4Result) WriteChromeTrace(w io.Writer) error {
+	type traceEvent struct {
+		Name     string `json:"name"`
+		Phase    string `json:"ph"`
+		TimeUS   int64  `json:"ts"`
+		DurUS    int64  `json:"dur"`
+		PID      int    `json:"pid"`
+		TID      int    `json:"tid"`
+		Category string `json:"cat"`
+	}
+	type metaEvent struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		PID   int            `json:"pid"`
+		TID   int            `json:"tid"`
+		Args  map[string]any `json:"args"`
+	}
+
+	var events []any
+	for pid, panel := range r.Panels {
+		events = append(events, metaEvent{
+			Name: "process_name", Phase: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": panel.Algorithm},
+		})
+		for wID := 0; wID < r.Workers; wID++ {
+			events = append(events, metaEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: wID,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", wID)},
+			})
+		}
+		for _, seg := range panel.Segments {
+			dur := (seg.End - seg.Start).Microseconds()
+			if dur <= 0 {
+				continue // sub-microsecond stages clutter the view
+			}
+			events = append(events, traceEvent{
+				Name:     fmt.Sprintf("%s step %d", seg.Stage, seg.Step),
+				Phase:    "X",
+				TimeUS:   seg.Start.Microseconds(),
+				DurUS:    dur,
+				PID:      pid,
+				TID:      seg.Worker,
+				Category: seg.Stage,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

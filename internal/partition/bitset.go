@@ -1,0 +1,42 @@
+package partition
+
+import "math/bits"
+
+// Bitset is a fixed-size bit vector used for the per-subgraph vertex sets
+// (keep[i] in Algorithm 1). A bitset keeps EBV's inner loop cache-friendly:
+// p × |V| bits instead of p hash sets.
+type Bitset []uint64
+
+// NewBitset returns a Bitset able to hold n bits, all clear.
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bitset) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether bit i is set.
+func (b Bitset) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	total := 0
+	for _, w := range b {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Range calls fn for every set bit in ascending order.
+func (b Bitset) Range(fn func(i int)) {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package partition
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Assignment interchange formats. The text format is one part id per line
+// (the convention METIS tooling uses); the binary format adds a header so
+// the part count and edge count round-trip exactly.
+
+const assignmentMagic = 0x45425641 // "EBVA"
+
+// WriteAssignmentText writes one part id per line.
+func WriteAssignmentText(w io.Writer, a *Assignment) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# parts %d edges %d\n", a.K, len(a.Parts)); err != nil {
+		return fmt.Errorf("partition: write assignment header: %w", err)
+	}
+	for _, p := range a.Parts {
+		bw.WriteString(strconv.Itoa(int(p)))
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("partition: write assignment: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("partition: flush assignment: %w", err)
+	}
+	return nil
+}
+
+// ReadAssignmentText reads the text format. The part count is recovered
+// from the header when present, else from the maximum id seen.
+func ReadAssignmentText(r io.Reader) (*Assignment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	a := &Assignment{}
+	headerK := -1
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			for i := 0; i+1 < len(fields); i++ {
+				if fields[i] == "parts" {
+					if k, err := strconv.Atoi(fields[i+1]); err == nil {
+						headerK = k
+					}
+				}
+			}
+			continue
+		}
+		p, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("partition: parse assignment line %q: %w", line, err)
+		}
+		if p < 0 {
+			return nil, fmt.Errorf("partition: negative part id %d", p)
+		}
+		if p >= a.K {
+			a.K = p + 1
+		}
+		a.Parts = append(a.Parts, int32(p))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("partition: scan assignment: %w", err)
+	}
+	if headerK > 0 {
+		if headerK < a.K {
+			return nil, fmt.Errorf("partition: header claims %d parts, saw id %d", headerK, a.K-1)
+		}
+		a.K = headerK
+	}
+	if a.K == 0 {
+		a.K = 1
+	}
+	return a, nil
+}
+
+// WriteAssignmentBinary writes the compact binary format.
+func WriteAssignmentBinary(w io.Writer, a *Assignment) error {
+	bw := bufio.NewWriter(w)
+	header := []uint32{assignmentMagic, uint32(a.K)}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("partition: write assignment header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(a.Parts))); err != nil {
+		return fmt.Errorf("partition: write assignment count: %w", err)
+	}
+	for _, p := range a.Parts {
+		if err := binary.Write(bw, binary.LittleEndian, p); err != nil {
+			return fmt.Errorf("partition: write assignment entry: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("partition: flush assignment: %w", err)
+	}
+	return nil
+}
+
+// ReadAssignmentBinary reads the binary format.
+func ReadAssignmentBinary(r io.Reader) (*Assignment, error) {
+	br := bufio.NewReader(r)
+	var magic, k uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("partition: read assignment magic: %w", err)
+	}
+	if magic != assignmentMagic {
+		return nil, fmt.Errorf("partition: bad assignment magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &k); err != nil {
+		return nil, fmt.Errorf("partition: read assignment parts: %w", err)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("partition: read assignment count: %w", err)
+	}
+	a := &Assignment{K: int(k), Parts: make([]int32, count)}
+	for i := range a.Parts {
+		if err := binary.Read(br, binary.LittleEndian, &a.Parts[i]); err != nil {
+			return nil, fmt.Errorf("partition: read assignment entry %d: %w", i, err)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel returned by a FaultInjector when it fires.
+var ErrInjected = errors.New("transport: injected fault")
+
+// FaultInjector wraps a Transport and fails a chosen Exchange call. It
+// exists for failure-injection tests: the BSP engine must surface a
+// transport fault as a clean error from Run — no deadlock, no partial
+// result — even though the remaining workers are blocked in a collective
+// exchange.
+type FaultInjector struct {
+	// Inner is the wrapped transport.
+	Inner Transport
+	// FailWorker and FailStep select the Exchange call to fail.
+	FailWorker int
+	FailStep   int
+	// CloseOnFail also closes Inner, releasing peers blocked in the
+	// collective call (what a crashed process does to a real cluster).
+	CloseOnFail bool
+
+	fired atomic.Bool
+}
+
+var _ Transport = (*FaultInjector)(nil)
+
+// NumWorkers implements Transport.
+func (f *FaultInjector) NumWorkers() int { return f.Inner.NumWorkers() }
+
+// Exchange implements Transport.
+func (f *FaultInjector) Exchange(worker, step int, out [][]Message, active bool) (ExchangeResult, error) {
+	if worker == f.FailWorker && step == f.FailStep && !f.fired.Swap(true) {
+		if f.CloseOnFail {
+			_ = f.Inner.Close()
+		}
+		return ExchangeResult{}, fmt.Errorf("worker %d step %d: %w", worker, step, ErrInjected)
+	}
+	return f.Inner.Exchange(worker, step, out, active)
+}
+
+// Close implements Transport.
+func (f *FaultInjector) Close() error { return f.Inner.Close() }
+
+// Fired reports whether the fault has been injected.
+func (f *FaultInjector) Fired() bool { return f.fired.Load() }

@@ -1,0 +1,284 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"ebv/internal/graph"
+)
+
+// TCP is a Transport over a full mesh of TCP connections. Each worker owns
+// one TCP instance; every step it writes exactly one frame to every peer
+// and reads exactly one frame from every peer, so streams stay aligned
+// without sequence tracking (the step number is still carried and checked
+// defensively).
+//
+// Frame layout (little endian):
+//
+//	u32 step | u8 active | u32 count | count × (u32 vertex, f64 value)
+type TCP struct {
+	worker int
+	k      int
+	conns  []net.Conn // conns[peer]; nil at index == worker
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCPMesh constructs k TCP transports connected in a full mesh over the
+// loopback interface. It is the single-process entry point used by tests,
+// the distributed example and the transport ablation bench; a multi-host
+// deployment would dial remote addresses instead but uses the same frame
+// protocol.
+func NewTCPMesh(k int) ([]*TCP, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("transport: need at least 1 worker, got %d", k)
+	}
+	listeners := make([]net.Listener, k)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll(listeners[:i])
+			return nil, fmt.Errorf("transport: listen worker %d: %w", i, err)
+		}
+		listeners[i] = ln
+	}
+	ts := make([]*TCP, k)
+	for i := range ts {
+		ts[i] = &TCP{worker: i, k: k, conns: make([]net.Conn, k)}
+	}
+
+	// Dial the upper triangle concurrently; accept on the lower.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", listeners[j].Addr().String())
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("transport: dial %d->%d: %w", i, j, err):
+					default:
+					}
+					return
+				}
+				// Identify ourselves so the acceptor can slot the conn.
+				var hello [4]byte
+				binary.LittleEndian.PutUint32(hello[:], uint32(i))
+				if _, err := conn.Write(hello[:]); err != nil {
+					select {
+					case errCh <- fmt.Errorf("transport: hello %d->%d: %w", i, j, err):
+					default:
+					}
+					return
+				}
+				ts[i].conns[j] = conn
+			}(i, j)
+		}
+	}
+	for j := 0; j < k; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for accepted := 0; accepted < j; accepted++ {
+				conn, err := listeners[j].Accept()
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("transport: accept worker %d: %w", j, err):
+					default:
+					}
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					select {
+					case errCh <- fmt.Errorf("transport: read hello worker %d: %w", j, err):
+					default:
+					}
+					return
+				}
+				peer := int(binary.LittleEndian.Uint32(hello[:]))
+				if peer < 0 || peer >= k {
+					select {
+					case errCh <- fmt.Errorf("transport: bad hello id %d at worker %d", peer, j):
+					default:
+					}
+					return
+				}
+				ts[j].conns[peer] = conn
+			}
+		}(j)
+	}
+	wg.Wait()
+	closeAll(listeners)
+	select {
+	case err := <-errCh:
+		for _, t := range ts {
+			_ = t.Close()
+		}
+		return nil, err
+	default:
+	}
+	return ts, nil
+}
+
+func closeAll(listeners []net.Listener) {
+	for _, ln := range listeners {
+		if ln != nil {
+			_ = ln.Close()
+		}
+	}
+}
+
+// NumWorkers implements Transport.
+func (t *TCP) NumWorkers() int { return t.k }
+
+// Exchange implements Transport.
+func (t *TCP) Exchange(worker, step int, out [][]Message, active bool) (ExchangeResult, error) {
+	if worker != t.worker {
+		return ExchangeResult{}, fmt.Errorf("transport: tcp instance owns worker %d, called as %d",
+			t.worker, worker)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ExchangeResult{}, ErrClosed
+	}
+	t.mu.Unlock()
+
+	res := ExchangeResult{In: make([][]Message, t.k), AnyActive: active}
+	if worker < len(out) {
+		res.In[worker] = out[worker] // self-delivery without the network
+	}
+
+	// Write one frame to every peer concurrently (writes may block on
+	// socket buffers, so they must not serialize with our reads).
+	var wg sync.WaitGroup
+	errCh := make(chan error, t.k)
+	for peer := 0; peer < t.k; peer++ {
+		if peer == worker {
+			continue
+		}
+		var batch []Message
+		if peer < len(out) {
+			batch = out[peer]
+		}
+		wg.Add(1)
+		go func(peer int, batch []Message) {
+			defer wg.Done()
+			if err := writeFrame(t.conns[peer], step, active, batch); err != nil {
+				errCh <- fmt.Errorf("transport: write to %d: %w", peer, err)
+			}
+		}(peer, batch)
+	}
+
+	// Read one frame from every peer. Sequential reads are fine: every
+	// peer is writing concurrently from its own goroutines.
+	var firstErr error
+	for peer := 0; peer < t.k; peer++ {
+		if peer == worker {
+			continue
+		}
+		gotStep, peerActive, batch, err := readFrame(t.conns[peer])
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("transport: read from %d: %w", peer, err)
+			}
+			continue
+		}
+		if gotStep != step {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("transport: step skew from %d: got %d want %d",
+					peer, gotStep, step)
+			}
+			continue
+		}
+		res.In[peer] = batch
+		res.AnyActive = res.AnyActive || peerActive
+	}
+	wg.Wait()
+	close(errCh)
+	if firstErr == nil {
+		for err := range errCh {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		return ExchangeResult{}, firstErr
+	}
+	// The TCP transport cannot separate peer-wait from wire time without
+	// extra control round-trips; report Wait=0 and let callers attribute
+	// the whole exchange to communication (documented in DESIGN.md).
+	return res, nil
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	for _, c := range t.conns {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+	return nil
+}
+
+const msgWire = 12 // u32 vertex + f64 value
+
+func writeFrame(conn net.Conn, step int, active bool, batch []Message) error {
+	header := make([]byte, 9)
+	binary.LittleEndian.PutUint32(header[0:4], uint32(step))
+	if active {
+		header[4] = 1
+	}
+	binary.LittleEndian.PutUint32(header[5:9], uint32(len(batch)))
+	buf := make([]byte, 0, len(header)+len(batch)*msgWire)
+	buf = append(buf, header...)
+	var scratch [msgWire]byte
+	for _, m := range batch {
+		binary.LittleEndian.PutUint32(scratch[0:4], uint32(m.Vertex))
+		binary.LittleEndian.PutUint64(scratch[4:12], math.Float64bits(m.Value))
+		buf = append(buf, scratch[:]...)
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+func readFrame(conn net.Conn) (step int, active bool, batch []Message, err error) {
+	var header [9]byte
+	if _, err = io.ReadFull(conn, header[:]); err != nil {
+		return 0, false, nil, err
+	}
+	step = int(binary.LittleEndian.Uint32(header[0:4]))
+	active = header[4] == 1
+	count := int(binary.LittleEndian.Uint32(header[5:9]))
+	if count == 0 {
+		return step, active, nil, nil
+	}
+	payload := make([]byte, count*msgWire)
+	if _, err = io.ReadFull(conn, payload); err != nil {
+		return 0, false, nil, err
+	}
+	batch = make([]Message, count)
+	for i := range batch {
+		off := i * msgWire
+		batch[i] = Message{
+			Vertex: graph.VertexID(binary.LittleEndian.Uint32(payload[off : off+4])),
+			Value:  math.Float64frombits(binary.LittleEndian.Uint64(payload[off+4 : off+12])),
+		}
+	}
+	return step, active, batch, nil
+}

@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// NewTCPWorker builds one worker's transport of a multi-process TCP mesh
+// from an explicit address list: addrs[i] is where worker i listens.
+// Unlike NewTCPMesh (which wires all workers inside one process), each
+// process calls NewTCPWorker with its own id; the function listens on
+// addrs[worker], accepts connections from all lower-id peers and dials all
+// higher-id peers, retrying dials until the peers come up (bounded by
+// dialTimeout). This is the entry point cmd/ebv-worker uses to run one BSP
+// worker per OS process (or per host).
+func NewTCPWorker(worker int, addrs []string, dialTimeout time.Duration) (*TCP, error) {
+	k := len(addrs)
+	if worker < 0 || worker >= k {
+		return nil, fmt.Errorf("transport: worker %d out of range [0,%d)", worker, k)
+	}
+	if dialTimeout <= 0 {
+		dialTimeout = 30 * time.Second
+	}
+	t := &TCP{worker: worker, k: k, conns: make([]net.Conn, k)}
+	if k == 1 {
+		return t, nil
+	}
+
+	ln, err := net.Listen("tcp", addrs[worker])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[worker], err)
+	}
+	defer ln.Close()
+
+	// Dial higher-id peers in the background with retry; accept from
+	// lower ids in the foreground.
+	dialErr := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(dialTimeout)
+		for peer := worker + 1; peer < k; peer++ {
+			conn, err := dialWithRetry(addrs[peer], deadline)
+			if err != nil {
+				select {
+				case dialErr <- fmt.Errorf("transport: dial peer %d (%s): %w", peer, addrs[peer], err):
+				default:
+				}
+				return
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(worker))
+			if _, err := conn.Write(hello[:]); err != nil {
+				select {
+				case dialErr <- fmt.Errorf("transport: hello to %d: %w", peer, err):
+				default:
+				}
+				return
+			}
+			t.conns[peer] = conn
+		}
+	}()
+
+	type accepted struct {
+		peer int
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan accepted, worker)
+	go func() {
+		for i := 0; i < worker; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptCh <- accepted{err: err}
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				acceptCh <- accepted{err: fmt.Errorf("read hello: %w", err)}
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			if peer < 0 || peer >= worker {
+				acceptCh <- accepted{err: fmt.Errorf("bad hello id %d", peer)}
+				return
+			}
+			acceptCh <- accepted{peer: peer, conn: conn}
+		}
+	}()
+
+	timeout := time.After(dialTimeout)
+	for i := 0; i < worker; i++ {
+		select {
+		case a := <-acceptCh:
+			if a.err != nil {
+				_ = t.Close()
+				return nil, fmt.Errorf("transport: accept at worker %d: %w", worker, a.err)
+			}
+			t.conns[a.peer] = a.conn
+		case err := <-dialErr:
+			_ = t.Close()
+			return nil, err
+		case <-timeout:
+			_ = t.Close()
+			return nil, fmt.Errorf("transport: worker %d timed out waiting for peers", worker)
+		}
+	}
+	select {
+	case <-done:
+	case err := <-dialErr:
+		_ = t.Close()
+		return nil, err
+	case <-timeout:
+		_ = t.Close()
+		return nil, fmt.Errorf("transport: worker %d timed out dialing peers", worker)
+	}
+	select {
+	case err := <-dialErr:
+		_ = t.Close()
+		return nil, err
+	default:
+	}
+	// Sanity: every slot filled.
+	for peer, conn := range t.conns {
+		if peer != worker && conn == nil {
+			_ = t.Close()
+			return nil, fmt.Errorf("transport: worker %d missing connection to %d", worker, peer)
+		}
+	}
+	return t, nil
+}
+
+func dialWithRetry(addr string, deadline time.Time) (net.Conn, error) {
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("deadline passed")
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,213 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ebv/internal/graph"
+)
+
+// runExchange drives one collective exchange across k workers of tr and
+// returns each worker's result.
+func runExchange(t *testing.T, trs []Transport, step int,
+	outs [][][]Message, actives []bool) []ExchangeResult {
+	t.Helper()
+	k := len(trs)
+	results := make([]ExchangeResult, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = trs[w].Exchange(w, step, outs[w], actives[w])
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	return results
+}
+
+func memTrio(t *testing.T, k int) []Transport {
+	t.Helper()
+	m, err := NewMem(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	trs := make([]Transport, k)
+	for i := range trs {
+		trs[i] = m
+	}
+	return trs
+}
+
+func tcpTrio(t *testing.T, k int) []Transport {
+	t.Helper()
+	mesh, err := NewTCPMesh(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := make([]Transport, k)
+	for i := range trs {
+		trs[i] = mesh[i]
+		tr := mesh[i]
+		t.Cleanup(func() { _ = tr.Close() })
+	}
+	return trs
+}
+
+func testDelivery(t *testing.T, trs []Transport) {
+	t.Helper()
+	k := len(trs)
+	// Worker w sends one message with value 100*w+dst to each dst.
+	outs := make([][][]Message, k)
+	actives := make([]bool, k)
+	for w := 0; w < k; w++ {
+		outs[w] = make([][]Message, k)
+		for dst := 0; dst < k; dst++ {
+			outs[w][dst] = []Message{{Vertex: graph.VertexID(w), Value: float64(100*w + dst)}}
+		}
+		actives[w] = w == 0 // only worker 0 active
+	}
+	results := runExchange(t, trs, 0, outs, actives)
+	for w, res := range results {
+		if !res.AnyActive {
+			t.Errorf("worker %d: AnyActive = false, want true", w)
+		}
+		for src := 0; src < k; src++ {
+			batch := res.In[src]
+			if len(batch) != 1 {
+				t.Fatalf("worker %d: %d messages from %d, want 1", w, len(batch), src)
+			}
+			if got, want := batch[0].Value, float64(100*src+w); got != want {
+				t.Errorf("worker %d from %d: value %g, want %g", w, src, got, want)
+			}
+		}
+	}
+	// Second step: nobody active, nothing sent.
+	empty := make([][][]Message, k)
+	for w := range empty {
+		empty[w] = make([][]Message, k)
+	}
+	results = runExchange(t, trs, 1, empty, make([]bool, k))
+	for w, res := range results {
+		if res.AnyActive {
+			t.Errorf("worker %d: AnyActive = true, want false", w)
+		}
+	}
+}
+
+func TestMemDelivery(t *testing.T)   { testDelivery(t, memTrio(t, 4)) }
+func TestTCPDelivery(t *testing.T)   { testDelivery(t, tcpTrio(t, 4)) }
+func TestMemSingle(t *testing.T)     { testDelivery(t, memTrio(t, 1)) }
+func TestTCPTwoWorkers(t *testing.T) { testDelivery(t, tcpTrio(t, 2)) }
+
+func TestMemManySteps(t *testing.T) {
+	trs := memTrio(t, 3)
+	for step := 0; step < 50; step++ {
+		outs := make([][][]Message, 3)
+		actives := make([]bool, 3)
+		for w := range outs {
+			outs[w] = make([][]Message, 3)
+			outs[w][(w+1)%3] = []Message{{Vertex: graph.VertexID(step), Value: float64(step)}}
+			actives[w] = true
+		}
+		results := runExchange(t, trs, step, outs, actives)
+		for w, res := range results {
+			src := (w + 2) % 3
+			if len(res.In[src]) != 1 || res.In[src][0].Value != float64(step) {
+				t.Fatalf("step %d worker %d: bad delivery %v", step, w, res.In[src])
+			}
+		}
+	}
+}
+
+func TestTCPLargeBatch(t *testing.T) {
+	// Batches far larger than socket buffers must not deadlock.
+	trs := tcpTrio(t, 3)
+	big := make([]Message, 200000)
+	for i := range big {
+		big[i] = Message{Vertex: graph.VertexID(i), Value: float64(i)}
+	}
+	outs := make([][][]Message, 3)
+	for w := range outs {
+		outs[w] = [][]Message{big, big, big}
+	}
+	results := runExchange(t, trs, 0, outs, []bool{true, true, true})
+	for w, res := range results {
+		for src := 0; src < 3; src++ {
+			if len(res.In[src]) != len(big) {
+				t.Fatalf("worker %d: got %d msgs from %d, want %d",
+					w, len(res.In[src]), src, len(big))
+			}
+		}
+		if res.In[1][12345].Value != 12345 {
+			t.Fatalf("payload corrupted at worker %d", w)
+		}
+	}
+}
+
+func TestMemClosedErrors(t *testing.T) {
+	m, err := NewMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Exchange(0, 0, nil, false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemRejectsBadWorker(t *testing.T) {
+	m, err := NewMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Exchange(7, 0, nil, false); err == nil {
+		t.Fatal("out-of-range worker accepted")
+	}
+}
+
+func TestNewMemRejectsBadK(t *testing.T) {
+	if _, err := NewMem(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestNewTCPMeshRejectsBadK(t *testing.T) {
+	if _, err := NewTCPMesh(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestTCPWrongWorkerID(t *testing.T) {
+	trs := tcpTrio(t, 2)
+	tcp, ok := trs[0].(*TCP)
+	if !ok {
+		t.Fatal("not a TCP transport")
+	}
+	if _, err := tcp.Exchange(1, 0, nil, false); err == nil {
+		t.Fatal("wrong worker id accepted")
+	}
+}
+
+func TestTCPClosedErrors(t *testing.T) {
+	mesh, err := NewTCPMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = mesh[0].Close()
+	_ = mesh[1].Close()
+	if _, err := mesh[0].Exchange(0, 0, nil, false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
