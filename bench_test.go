@@ -14,6 +14,7 @@
 package ebv_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -334,6 +335,33 @@ func BenchmarkAblationStreaming(b *testing.B) {
 					b.Fatal(err)
 				}
 				rf = m.ReplicationFactor
+			}
+			b.SetBytes(int64(g.NumEdges()))
+			b.ReportMetric(rf, "replication-factor")
+		})
+	}
+}
+
+// BenchmarkPipelineEndToEnd measures the full Pipeline path — partition →
+// metrics → build subgraphs → run CC to quiescence — on a PowerLaw
+// analogue, giving future PRs a perf baseline for the whole serving path
+// (the graph is generated once outside the timed loop, matching the
+// paper's methodology of excluding input loading).
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	g := ablationGraph(b)
+	for _, k := range []int{4, 16} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			var rf float64
+			for i := 0; i < b.N; i++ {
+				res, err := ebv.NewPipeline(
+					ebv.FromGraph(g),
+					ebv.UsePartitioner(ebv.NewEBV()),
+					ebv.Subgraphs(k),
+				).Run(context.Background(), &apps.CC{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rf = res.Metrics.ReplicationFactor
 			}
 			b.SetBytes(int64(g.NumEdges()))
 			b.ReportMetric(rf, "replication-factor")

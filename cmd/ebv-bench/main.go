@@ -11,24 +11,34 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ebv"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ebv-bench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "ebv-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		exp      = flag.String("exp", "all", "experiment name or 'all'")
 		scale    = flag.Float64("scale", 1.0, "graph size multiplier")
@@ -70,12 +80,12 @@ func run() error {
 	for _, name := range names {
 		start := time.Now()
 		if *asCSV {
-			if err := ebv.RunExperimentCSV(name, opt, os.Stdout); err != nil {
+			if err := ebv.RunExperimentCSVCtx(ctx, name, opt, os.Stdout); err != nil {
 				return fmt.Errorf("experiment %s: %w", name, err)
 			}
 			continue
 		}
-		if err := ebv.RunExperiment(name, opt, os.Stdout); err != nil {
+		if err := ebv.RunExperimentCtx(ctx, name, opt, os.Stdout); err != nil {
 			return fmt.Errorf("experiment %s: %w", name, err)
 		}
 		fmt.Printf("\n[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))

@@ -1,6 +1,8 @@
 // Command ebv-partition partitions a graph file with any of the paper's
 // algorithms and prints the §III-C quality metrics (edge imbalance factor,
-// vertex imbalance factor, replication factor).
+// vertex imbalance factor, replication factor). It runs the ebv.Pipeline
+// through its Prepare stages (load → partition → metrics → build); Ctrl-C
+// cancels the in-flight partitioning.
 //
 // Usage:
 //
@@ -9,24 +11,34 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"ebv"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ebv-partition: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "ebv-partition:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		in         = flag.String("in", "", "input graph path (.bin = binary, else text edge list)")
 		undirected = flag.Bool("undirected", false, "treat text input as undirected")
@@ -42,22 +54,8 @@ func run() error {
 		return fmt.Errorf("missing -in (graph path)")
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	var g *ebv.Graph
-	if strings.HasSuffix(*in, ".bin") {
-		g, err = ebv.ReadBinaryGraph(f)
-	} else {
-		g, err = ebv.ReadEdgeList(f, *undirected)
-	}
-	if err != nil {
-		return err
-	}
-
 	var p ebv.Partitioner
+	var err error
 	if *algo == "EBV" && (*alpha != 1 || *beta != 1) {
 		p = ebv.NewEBV(ebv.WithAlpha(*alpha), ebv.WithBeta(*beta))
 	} else {
@@ -67,24 +65,29 @@ func run() error {
 		}
 	}
 
-	start := time.Now()
-	a, err := p.Partition(g, *parts)
+	opts := []ebv.PipelineOption{
+		ebv.FromEdgeList(*in),
+		ebv.UsePartitioner(p),
+		ebv.Subgraphs(*parts),
+	}
+	if *undirected {
+		opts = append(opts, ebv.Undirected())
+	}
+	if *subDir != "" {
+		opts = append(opts, ebv.MaterializeSubgraphs())
+	}
+	res, err := ebv.NewPipeline(opts...).Prepare(ctx)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
 
-	m, err := ebv.ComputeMetrics(g, a)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("graph              %s (V=%d, E=%d)\n", *in, g.NumVertices(), g.NumEdges())
-	fmt.Printf("algorithm          %s\n", p.Name())
-	fmt.Printf("subgraphs          %d\n", *parts)
-	fmt.Printf("partition time     %v\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("edge imbalance     %.4f\n", m.EdgeImbalance)
-	fmt.Printf("vertex imbalance   %.4f\n", m.VertexImbalance)
-	fmt.Printf("replication factor %.4f\n", m.ReplicationFactor)
+	fmt.Printf("graph              %s (V=%d, E=%d)\n", *in, res.Graph.NumVertices(), res.Graph.NumEdges())
+	fmt.Printf("algorithm          %s\n", res.PartitionerName)
+	fmt.Printf("subgraphs          %d\n", res.Assignment.K)
+	fmt.Printf("partition time     %v\n", res.PartitionTime.Round(time.Millisecond))
+	fmt.Printf("edge imbalance     %.4f\n", res.Metrics.EdgeImbalance)
+	fmt.Printf("vertex imbalance   %.4f\n", res.Metrics.VertexImbalance)
+	fmt.Printf("replication factor %.4f\n", res.Metrics.ReplicationFactor)
 
 	if *outPath != "" {
 		out, err := os.Create(*outPath)
@@ -93,9 +96,9 @@ func run() error {
 		}
 		defer out.Close()
 		if strings.HasSuffix(*outPath, ".bin") {
-			err = ebv.WriteAssignmentBinary(out, a)
+			err = ebv.WriteAssignmentBinary(out, res.Assignment)
 		} else {
-			err = ebv.WriteAssignmentText(out, a)
+			err = ebv.WriteAssignmentText(out, res.Assignment)
 		}
 		if err != nil {
 			return err
@@ -106,11 +109,7 @@ func run() error {
 		if err := os.MkdirAll(*subDir, 0o755); err != nil {
 			return err
 		}
-		subs, err := ebv.BuildSubgraphs(g, a)
-		if err != nil {
-			return err
-		}
-		for _, sub := range subs {
+		for _, sub := range res.Subgraphs {
 			path := filepath.Join(*subDir, fmt.Sprintf("subgraph-%d.bin", sub.Part))
 			f, err := os.Create(path)
 			if err != nil {
@@ -124,7 +123,7 @@ func run() error {
 				return err
 			}
 		}
-		fmt.Printf("subgraph shards    written to %s (%d files)\n", *subDir, len(subs))
+		fmt.Printf("subgraph shards    written to %s (%d files)\n", *subDir, len(res.Subgraphs))
 	}
 	return nil
 }

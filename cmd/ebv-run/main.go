@@ -1,7 +1,9 @@
 // Command ebv-run partitions a graph and executes one of the paper's
 // applications (CC, PR, SSSP) on the subgraph-centric BSP engine, printing
 // the §V-B breakdown (comp / comm / ΔC / execution time) and the message
-// statistics of Tables IV and V.
+// statistics of Tables IV and V. It is a thin shell over ebv.Pipeline:
+// Ctrl-C cancels the in-flight stage (partitioning or a superstep) and
+// exits cleanly.
 //
 // Usage:
 //
@@ -11,23 +13,33 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ebv"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ebv-run: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "ebv-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		in         = flag.String("in", "", "input graph path (.bin = binary, else text edge list)")
 		undirected = flag.Bool("undirected", false, "treat text input as undirected")
@@ -38,25 +50,11 @@ func run() error {
 		source     = flag.Uint64("source", 0, "SSSP source vertex")
 		transport  = flag.String("transport", "mem", "transport: mem | tcp")
 		assignPath = flag.String("assignment", "", "load a precomputed assignment (skips partitioning)")
+		progress   = flag.Bool("progress", false, "print pipeline stage progress to stderr")
 	)
 	flag.Parse()
 	if *in == "" {
 		return fmt.Errorf("missing -in (graph path)")
-	}
-
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	var g *ebv.Graph
-	if strings.HasSuffix(*in, ".bin") {
-		g, err = ebv.ReadBinaryGraph(f)
-	} else {
-		g, err = ebv.ReadEdgeList(f, *undirected)
-	}
-	if err != nil {
-		return err
 	}
 
 	p, err := ebv.PartitionerByName(*algo)
@@ -75,73 +73,61 @@ func run() error {
 		return fmt.Errorf("unknown app %q (want CC, PR or SSSP)", *app)
 	}
 
-	partStart := time.Now()
-	var a *ebv.Assignment
+	opts := []ebv.PipelineOption{
+		ebv.FromEdgeList(*in),
+		ebv.UsePartitioner(p),
+		ebv.Subgraphs(*parts),
+	}
+	if *undirected {
+		opts = append(opts, ebv.Undirected())
+	}
 	if *assignPath != "" {
-		af, err := os.Open(*assignPath)
+		a, err := readAssignment(*assignPath)
 		if err != nil {
 			return err
 		}
-		defer af.Close()
-		if strings.HasSuffix(*assignPath, ".bin") {
-			a, err = ebv.ReadAssignmentBinary(af)
-		} else {
-			a, err = ebv.ReadAssignmentText(af)
-		}
-		if err != nil {
-			return err
-		}
-		*parts = a.K
-	} else {
-		var err error
-		a, err = p.Partition(g, *parts)
-		if err != nil {
-			return err
-		}
+		opts = append(opts, ebv.UseAssignment(a))
 	}
-	partTime := time.Since(partStart)
-	subs, err := ebv.BuildSubgraphs(g, a)
-	if err != nil {
-		return err
-	}
-
-	cfg := ebv.RunConfig{}
 	if *transport == "tcp" {
-		mesh, err := ebv.NewTCPMesh(*parts)
-		if err != nil {
-			return err
-		}
-		defer func() {
-			for _, tr := range mesh {
-				_ = tr.Close()
+		opts = append(opts, ebv.UseTCPLoopback())
+	}
+	if *progress {
+		opts = append(opts, ebv.OnProgress(func(ev ebv.PipelineProgress) {
+			if ev.Done {
+				fmt.Fprintf(os.Stderr, "[%s] done in %v (%s)\n",
+					ev.Stage, ev.Elapsed.Round(time.Millisecond), ev.Detail)
 			}
-		}()
-		cfg.Transports = make([]ebv.Transport, *parts)
-		for i := range cfg.Transports {
-			cfg.Transports[i] = mesh[i]
-		}
+		}))
 	}
 
-	res, err := ebv.RunBSP(subs, prog, cfg)
+	res, err := ebv.NewPipeline(opts...).Run(ctx, prog)
 	if err != nil {
 		return err
 	}
 
-	m, err := ebv.ComputeMetrics(g, a)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("graph               %s (V=%d, E=%d)\n", *in, g.NumVertices(), g.NumEdges())
+	fmt.Printf("graph               %s (V=%d, E=%d)\n", *in, res.Graph.NumVertices(), res.Graph.NumEdges())
 	fmt.Printf("partition           %s into %d subgraphs in %v (RF %.3f, EIF %.3f, VIF %.3f)\n",
-		p.Name(), *parts, partTime.Round(time.Millisecond),
-		m.ReplicationFactor, m.EdgeImbalance, m.VertexImbalance)
+		res.PartitionerName, res.Assignment.K, res.PartitionTime.Round(time.Millisecond),
+		res.Metrics.ReplicationFactor, res.Metrics.EdgeImbalance, res.Metrics.VertexImbalance)
 	fmt.Printf("application         %s over %s transport\n", prog.Name(), *transport)
-	fmt.Printf("supersteps          %d\n", res.Steps)
-	fmt.Printf("execution time      %v\n", res.WallTime.Round(time.Microsecond))
+	fmt.Printf("supersteps          %d\n", res.BSP.Steps)
+	fmt.Printf("execution time      %v\n", res.BSP.WallTime.Round(time.Microsecond))
 	fmt.Printf("avg comp / comm     %v / %v\n",
-		res.AvgComp().Round(time.Microsecond), res.AvgComm().Round(time.Microsecond))
-	fmt.Printf("deltaC (sync skew)  %v\n", res.DeltaC().Round(time.Microsecond))
-	fmt.Printf("total messages      %d\n", res.TotalMessages())
-	fmt.Printf("max/mean messages   %.3f\n", res.MaxMeanMessageRatio())
+		res.BSP.AvgComp().Round(time.Microsecond), res.BSP.AvgComm().Round(time.Microsecond))
+	fmt.Printf("deltaC (sync skew)  %v\n", res.BSP.DeltaC().Round(time.Microsecond))
+	fmt.Printf("total messages      %d\n", res.BSP.TotalMessages())
+	fmt.Printf("max/mean messages   %.3f\n", res.BSP.MaxMeanMessageRatio())
 	return nil
+}
+
+func readAssignment(path string) (*ebv.Assignment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return ebv.ReadAssignmentBinary(f)
+	}
+	return ebv.ReadAssignmentText(f)
 }

@@ -16,25 +16,38 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ebv"
 )
 
 func main() {
-	if err := run(); err != nil {
+	// A SIGINT mid-superstep cancels the context: the worker closes its
+	// transport (peers observe the closed connections and abort their own
+	// exchanges) and exits without leaking goroutines.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ebv-worker: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "ebv-worker:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		subPath = flag.String("subgraph", "", "subgraph file written by ebv-partition -subgraph-dir")
 		worker  = flag.Int("worker", -1, "this worker's id")
@@ -86,13 +99,13 @@ func run() error {
 		return fmt.Errorf("unknown app %q", *app)
 	}
 
-	tr, err := ebv.NewTCPWorker(*worker, addrs, *timeout)
+	tr, err := ebv.NewTCPWorkerCtx(ctx, *worker, addrs, *timeout)
 	if err != nil {
 		return err
 	}
 	defer tr.Close()
 
-	res, err := ebv.RunBSPWorker(sub, prog, tr, 0)
+	res, err := ebv.RunBSPWorkerCtx(ctx, sub, prog, tr, 0)
 	if err != nil {
 		return err
 	}

@@ -16,18 +16,28 @@
 //   - the experiment harness that regenerates every table and figure
 //     (internal/harness).
 //
-// Quick start:
+// Quick start — the Pipeline facade chains the paper's whole processing
+// path (generate/load → partition → build subgraphs → run BSP program →
+// metrics) in one cancellable call:
 //
-//	g, err := ebv.PowerLaw(ebv.PowerLawConfig{
-//		NumVertices: 100000, NumEdges: 1000000, Eta: 2.2, Directed: true, Seed: 1,
-//	})
-//	// handle err
-//	part := ebv.NewEBV()
-//	assignment, err := part.Partition(g, 16)
-//	// handle err
-//	metrics, err := ebv.ComputeMetrics(g, assignment)
-//	// handle err
-//	fmt.Printf("replication factor: %.2f\n", metrics.ReplicationFactor)
+//	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+//	defer stop()
+//	res, err := ebv.NewPipeline(
+//		ebv.FromGenerator(func() (*ebv.Graph, error) {
+//			return ebv.PowerLaw(ebv.PowerLawConfig{
+//				NumVertices: 100000, NumEdges: 1000000, Eta: 2.2, Directed: true, Seed: 1,
+//			})
+//		}),
+//		ebv.UsePartitioner(ebv.NewEBV()),
+//		ebv.Subgraphs(16),
+//	).Run(ctx, &ebv.CC{})
+//	// handle err (ctx.Err() after a Ctrl-C)
+//	fmt.Printf("replication factor: %.2f, %d supersteps\n",
+//		res.Metrics.ReplicationFactor, res.BSP.Steps)
+//
+// The lower-level pieces remain available for custom wiring: every
+// partitioner still exposes Partition(g, k), the context-aware ones add
+// PartitionCtx, and the BSP engine runs via RunBSP/RunBSPCtx.
 //
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package ebv
@@ -114,6 +124,9 @@ const (
 type (
 	// Partitioner assigns each edge to one of k subgraphs.
 	Partitioner = partition.Partitioner
+	// ContextPartitioner is a Partitioner with native cooperative
+	// cancellation (PartitionCtx). All heavy algorithms here implement it.
+	ContextPartitioner = partition.ContextPartitioner
 	// Assignment is an edge-to-subgraph mapping.
 	Assignment = partition.Assignment
 	// PartitionMetrics bundles the paper's §III-C quality metrics.
@@ -159,6 +172,10 @@ var (
 	WithOrder          = core.WithOrder
 	WithGrowthTracking = core.WithGrowthTracking
 	ComputeMetrics     = partition.ComputeMetrics
+	// PartitionWithContext runs any Partitioner under a context: native
+	// cancellation when it implements ContextPartitioner, a before/after
+	// context check otherwise.
+	PartitionWithContext = partition.PartitionWithContext
 	// ExpectedRandomReplication is the analytical random vertex-cut
 	// replication model (PowerGraph's formula).
 	ExpectedRandomReplication = partition.ExpectedRandomReplication
@@ -181,6 +198,9 @@ type (
 	Subgraph = bsp.Subgraph
 	// Program is a subgraph-centric application.
 	Program = bsp.Program
+	// WorkerProgram is a Program instance bound to one subgraph (needed to
+	// implement Program outside this module).
+	WorkerProgram = bsp.WorkerProgram
 	// RunConfig tunes a BSP run.
 	RunConfig = bsp.Config
 	// RunResult is the outcome of a BSP run, with the §V-B breakdown.
@@ -196,17 +216,30 @@ type (
 	FaultInjector = transport.FaultInjector
 )
 
-// BSP entry points and transports.
+// BSP entry points and transports. The *Ctx forms take a context whose
+// cancellation aborts the run (workers blocked in a collective exchange are
+// released by closing the transports).
 var (
 	BuildSubgraphs         = bsp.BuildSubgraphs
 	BuildSubgraphsWeighted = bsp.BuildSubgraphsWeighted
 	WriteSubgraph          = bsp.WriteSubgraph
 	ReadSubgraph           = bsp.ReadSubgraph
 	RunBSP                 = bsp.Run
+	RunBSPCtx              = bsp.RunCtx
 	RunBSPWorker           = bsp.RunWorker
+	RunBSPWorkerCtx        = bsp.RunWorkerCtx
 	NewMemTransport        = transport.NewMem
 	NewTCPMesh             = transport.NewTCPMesh
+	NewTCPMeshCtx          = transport.NewTCPMeshCtx
 	NewTCPWorker           = transport.NewTCPWorker
+	NewTCPWorkerCtx        = transport.NewTCPWorkerCtx
+	// NewRunConfig builds a RunConfig from functional options
+	// (WithMaxSteps, WithTransports, WithReplicaVerification); the
+	// struct-literal form keeps working.
+	NewRunConfig            = bsp.NewConfig
+	WithMaxSteps            = bsp.WithMaxSteps
+	WithTransports          = bsp.WithTransports
+	WithReplicaVerification = bsp.WithReplicaVerification
 )
 
 // Applications (§V-A) and sequential oracles.
@@ -245,7 +278,8 @@ type (
 
 // Vertex-centric entry points and programs.
 var (
-	RunPregel = pregel.Run
+	RunPregel    = pregel.Run
+	RunPregelCtx = pregel.RunCtx
 )
 
 // Vertex-centric application constructors.
@@ -260,15 +294,29 @@ type (
 
 // Experiment harness (regenerates every table and figure; see DESIGN.md §4).
 type (
-	// ExperimentOptions configures the harness.
+	// ExperimentOptions configures the harness (struct literal or
+	// NewExperimentOptions with functional options).
 	ExperimentOptions = harness.Options
+	// ExperimentOption configures ExperimentOptions functionally.
+	ExperimentOption = harness.Option
 )
 
-// Harness entry points.
+// Harness entry points. The *Ctx forms thread cancellation through every
+// partition cell and BSP run of the experiment.
 var (
-	RunExperiment     = harness.Run
-	RunExperimentCSV  = harness.RunCSV
-	ExperimentNames   = harness.ExperimentNames
-	PaperPartitioners = harness.PaperPartitioners
-	PartitionerByName = harness.PartitionerByName
+	RunExperiment         = harness.Run
+	RunExperimentCtx      = harness.RunCtx
+	RunExperimentCSV      = harness.RunCSV
+	RunExperimentCSVCtx   = harness.RunCSVCtx
+	ExperimentNames       = harness.ExperimentNames
+	PaperPartitioners     = harness.PaperPartitioners
+	PartitionerByName     = harness.PartitionerByName
+	NewExperimentOptions  = harness.NewOptions
+	WithScale             = harness.WithScale
+	WithSeed              = harness.WithSeed
+	WithWorkers           = harness.WithWorkers
+	WithPageRankIters     = harness.WithPageRankIters
+	WithExtended          = harness.WithExtended
+	WithRepeat            = harness.WithRepeat
+	WithExperimentContext = harness.WithContext
 )

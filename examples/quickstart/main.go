@@ -1,24 +1,30 @@
 // Quickstart: generate a power-law graph, partition it with EBV and the
-// baselines, and compare the §III-C quality metrics.
+// baselines through the Pipeline facade, and compare the §III-C quality
+// metrics. Ctrl-C cancels the in-flight partitioner.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"ebv"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// A LiveJournal-flavoured power-law graph: η = 2.6, directed.
 	g, err := ebv.PowerLaw(ebv.PowerLawConfig{
 		NumVertices: 50000,
@@ -45,18 +51,19 @@ func run() error {
 	fmt.Printf("%-12s %10s %10s %10s %12s\n",
 		"algorithm", "edge-imb", "vert-imb", "repl", "time")
 	for _, p := range partitioners {
-		start := time.Now()
-		a, err := p.Partition(g, parts)
+		// One pipeline per algorithm: load (the shared in-memory graph),
+		// partition under ctx, compute metrics, build subgraphs.
+		res, err := ebv.NewPipeline(
+			ebv.FromGraph(g),
+			ebv.UsePartitioner(p),
+			ebv.Subgraphs(parts),
+		).Prepare(ctx)
 		if err != nil {
 			return fmt.Errorf("%s: %w", p.Name(), err)
 		}
-		m, err := ebv.ComputeMetrics(g, a)
-		if err != nil {
-			return err
-		}
 		fmt.Printf("%-12s %10.3f %10.3f %10.3f %12v\n",
-			p.Name(), m.EdgeImbalance, m.VertexImbalance, m.ReplicationFactor,
-			time.Since(start).Round(time.Millisecond))
+			res.PartitionerName, res.Metrics.EdgeImbalance, res.Metrics.VertexImbalance,
+			res.Metrics.ReplicationFactor, res.PartitionTime.Round(time.Millisecond))
 	}
 	fmt.Println("\nEBV should show the lowest replication factor with imbalances ≈ 1.")
 	return nil

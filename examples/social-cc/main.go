@@ -1,14 +1,18 @@
 // social-cc: the LiveJournal-style workload of the paper's intro — find
-// communities (connected components) in a power-law social network using
-// the subgraph-centric BSP engine over an EBV partition, and verify the
-// result against the sequential oracle.
+// communities (connected components) in a power-law social network with
+// one ebv.Pipeline call (generate → EBV partition → build → BSP run →
+// metrics), then verify the result against the sequential oracle. Ctrl-C
+// cancels whichever stage is in flight.
 //
 // Run with: go run ./examples/social-cc
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -16,47 +20,45 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	// A social network: undirected, power-law with η = 2.5.
-	g, err := ebv.PowerLaw(ebv.PowerLawConfig{
-		NumVertices: 30000,
-		NumEdges:    45000,
-		Eta:         2.5,
-		Directed:    false,
-		Seed:        7,
-	})
-	if err != nil {
-		return err
-	}
-
+func run(ctx context.Context) error {
 	const workers = 8
-	partitioner := ebv.NewEBV()
-	a, err := partitioner.Partition(g, workers)
+	res, err := ebv.NewPipeline(
+		// A social network: undirected, power-law with η = 2.5.
+		ebv.FromGenerator(func() (*ebv.Graph, error) {
+			return ebv.PowerLaw(ebv.PowerLawConfig{
+				NumVertices: 30000,
+				NumEdges:    45000,
+				Eta:         2.5,
+				Directed:    false,
+				Seed:        7,
+			})
+		}),
+		ebv.UsePartitioner(ebv.NewEBV()),
+		ebv.Subgraphs(workers),
+		ebv.OnProgress(func(p ebv.PipelineProgress) {
+			if p.Done {
+				fmt.Printf("  [%s] %v\n", p.Stage, p.Elapsed.Round(time.Millisecond))
+			}
+		}),
+	).Run(ctx, &ebv.CC{})
 	if err != nil {
 		return err
 	}
-	subs, err := ebv.BuildSubgraphs(g, a)
-	if err != nil {
-		return err
-	}
-
-	start := time.Now()
-	res, err := ebv.RunBSP(subs, &ebv.CC{}, ebv.RunConfig{})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("CC over %d workers: %d supersteps in %v, %d messages (max/mean %.3f)\n",
-		workers, res.Steps, time.Since(start).Round(time.Millisecond),
-		res.TotalMessages(), res.MaxMeanMessageRatio())
+	fmt.Printf("CC over %d workers: %d supersteps in %v, %d messages (max/mean %.3f), RF %.3f\n",
+		workers, res.BSP.Steps, res.RunTime.Round(time.Millisecond),
+		res.BSP.TotalMessages(), res.BSP.MaxMeanMessageRatio(),
+		res.Metrics.ReplicationFactor)
 
 	// Community size histogram from the distributed result.
 	sizes := map[float64]int{}
-	for _, label := range res.Values {
+	for _, label := range res.BSP.Values {
 		sizes[label]++
 	}
 	type community struct {
@@ -77,8 +79,8 @@ func run() error {
 	}
 
 	// Cross-check against the sequential oracle.
-	want := ebv.SequentialCC(g)
-	for v, got := range res.Values {
+	want := ebv.SequentialCC(res.Graph)
+	for v, got := range res.BSP.Values {
 		if got != want[v] {
 			return fmt.Errorf("distributed CC differs from oracle at vertex %d", v)
 		}

@@ -1,14 +1,18 @@
 // web-pagerank: rank pages of an R-MAT web-shaped graph with the
 // subgraph-centric engine, comparing the communication volume of an EBV
 // partition against DBH, and against the vertex-centric engine — the
-// paper's core motivation (§I).
+// paper's core motivation (§I). Each subgraph-centric run is one
+// ebv.Pipeline call; Ctrl-C cancels the in-flight stage.
 //
 // Run with: go run ./examples/web-pagerank
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -16,12 +20,14 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	g, err := ebv.RMAT(ebv.RMATConfig{
 		ScaleLog2: 15, // 32768 vertices
 		NumEdges:  400000,
@@ -41,29 +47,24 @@ func run() error {
 
 	var ebvValues map[ebv.VertexID]float64
 	for _, p := range []ebv.Partitioner{ebv.NewEBV(), &ebv.DBH{}} {
-		a, err := p.Partition(g, workers)
-		if err != nil {
-			return err
-		}
-		subs, err := ebv.BuildSubgraphs(g, a)
-		if err != nil {
-			return err
-		}
-		start := time.Now()
-		res, err := ebv.RunBSP(subs, &ebv.PageRank{Iterations: iters}, ebv.RunConfig{})
+		res, err := ebv.NewPipeline(
+			ebv.FromGraph(g),
+			ebv.UsePartitioner(p),
+			ebv.Subgraphs(workers),
+		).Run(ctx, &ebv.PageRank{Iterations: iters})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-4s subgraph-centric: %v, %d messages\n",
-			p.Name(), time.Since(start).Round(time.Millisecond), res.TotalMessages())
-		if p.Name() == "EBV" {
-			ebvValues = res.Values
+			res.PartitionerName, res.RunTime.Round(time.Millisecond), res.BSP.TotalMessages())
+		if res.PartitionerName == "EBV" {
+			ebvValues = res.BSP.Values
 		}
 	}
 
 	// Vertex-centric comparator: same computation, different model.
 	start := time.Now()
-	vc, err := ebv.RunPregel(g, workers, &ebv.PregelPageRank{Iterations: iters}, ebv.PregelConfig{})
+	vc, err := ebv.RunPregelCtx(ctx, g, workers, &ebv.PregelPageRank{Iterations: iters}, ebv.PregelConfig{})
 	if err != nil {
 		return err
 	}

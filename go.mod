@@ -1,0 +1,3 @@
+module ebv
+
+go 1.24

@@ -1,0 +1,180 @@
+package bsp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ebv/internal/apps"
+	"ebv/internal/bsp"
+	"ebv/internal/core"
+	"ebv/internal/transport"
+)
+
+// runCtxAsync runs bsp.RunCtx in a goroutine and returns the result
+// channel, so tests can assert bounded-time termination.
+func runCtxAsync(ctx context.Context, subs []*bsp.Subgraph, prog bsp.Program, cfg bsp.Config) chan error {
+	done := make(chan error, 1)
+	go func() {
+		_, err := bsp.RunCtx(ctx, subs, prog, cfg)
+		done <- err
+	}()
+	return done
+}
+
+// TestRunCtxPreCanceled: an already-canceled context fails fast without
+// running a single superstep.
+func TestRunCtxPreCanceled(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	subs := buildSubs(t, g, core.New(), 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := bsp.RunCtx(ctx, subs, &apps.CC{}, bsp.Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("got a result despite canceled context")
+	}
+}
+
+// TestRunCtxCancelMidSuperstep cancels a run of a program that never
+// quiesces (spinner) and requires RunCtx to return ctx.Err() within a
+// bounded wall time instead of spinning to the superstep cap.
+func TestRunCtxCancelMidSuperstep(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	subs := buildSubs(t, g, core.New(), 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := runCtxAsync(ctx, subs, &spinner{}, bsp.Config{MaxSteps: 1 << 30})
+	time.Sleep(50 * time.Millisecond) // let the workers spin a few supersteps
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunCtx did not honor cancellation within 30s")
+	}
+}
+
+// TestRunCtxCancelDuringExchangeNoDeadlock reproduces the nastiest shape:
+// a FaultInjector (CloseOnFail=false) kills one worker mid-run, leaving the
+// three survivors blocked forever in the collective exchange — the
+// configuration that WOULD deadlock the barrier. Canceling the context
+// must release them and surface ctx.Err().
+func TestRunCtxCancelDuringExchangeNoDeadlock(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	subs := buildSubs(t, g, core.New(), 4)
+	mem, err := transport.NewMem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &transport.FaultInjector{
+		Inner:      mem,
+		FailWorker: 2,
+		FailStep:   1,
+		// CloseOnFail false: the failing worker does NOT release its
+		// peers; only the context cancellation can.
+		CloseOnFail: false,
+	}
+	trs := make([]transport.Transport, 4)
+	for w := range trs {
+		trs[w] = inj
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := runCtxAsync(ctx, subs, &apps.CC{}, bsp.Config{Transports: trs})
+
+	// Wait until the fault fired (worker 2 is out, peers are blocked).
+	deadline := time.Now().Add(10 * time.Second)
+	for !inj.Fired() {
+		if time.Now().After(deadline) {
+			t.Fatal("fault never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let the survivors block at the barrier
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancellation did not release workers blocked in the exchange")
+	}
+}
+
+// TestRunCtxBackgroundUnchanged: RunCtx with a background context behaves
+// exactly like the legacy Run (same values, replica agreement intact).
+func TestRunCtxBackgroundUnchanged(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	subs := buildSubs(t, g, core.New(), 4)
+	want, err := bsp.Run(subs, &apps.CC{}, bsp.Config{VerifyReplicaAgreement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bsp.RunCtx(context.Background(), subs, &apps.CC{},
+		bsp.NewConfig(bsp.WithReplicaVerification(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps != want.Steps {
+		t.Fatalf("steps: got %d, want %d", got.Steps, want.Steps)
+	}
+	for v, val := range want.Values {
+		if got.Values[v] != val {
+			t.Fatalf("vertex %d: got %g, want %g", v, got.Values[v], val)
+		}
+	}
+}
+
+// TestNewConfigOptions checks the functional-option constructor against
+// the equivalent struct literal.
+func TestNewConfigOptions(t *testing.T) {
+	mem, err := transport.NewMem(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	cfg := bsp.NewConfig(
+		bsp.WithMaxSteps(42),
+		bsp.WithTransports(mem),
+		bsp.WithReplicaVerification(true),
+	)
+	if cfg.MaxSteps != 42 || !cfg.VerifyReplicaAgreement || len(cfg.Transports) != 1 {
+		t.Fatalf("NewConfig produced %+v", cfg)
+	}
+}
+
+// TestRunWorkerCtxCancel: a single-worker distributed run over a Mem
+// transport honors cancellation mid-superstep.
+func TestRunWorkerCtxCancel(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	subs := buildSubs(t, g, core.New(), 1)
+	mem, err := transport.NewMem(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := bsp.RunWorkerCtx(ctx, subs[0], &spinner{}, mem, 1<<30)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunWorkerCtx did not honor cancellation")
+	}
+}

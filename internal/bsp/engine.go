@@ -1,6 +1,7 @@
 package bsp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,7 +38,9 @@ type WorkerProgram interface {
 // ErrMaxSteps reports that a run hit the superstep safety cap.
 var ErrMaxSteps = errors.New("bsp: exceeded max supersteps without converging")
 
-// Config tunes a Run.
+// Config tunes a Run. The zero value selects the defaults; it can be
+// populated either as a struct literal (the legacy form, still supported)
+// or with the functional options accepted by NewConfig.
 type Config struct {
 	// Transports supplies one transport per worker (e.g. a TCP mesh). Nil
 	// selects a shared in-memory transport. If exactly one transport is
@@ -49,6 +52,35 @@ type Config struct {
 	// of the same vertex disagree. Tests enable it; benches do not pay
 	// for it.
 	VerifyReplicaAgreement bool
+}
+
+// Option configures a Config functionally.
+type Option func(*Config)
+
+// NewConfig builds a Config from functional options.
+func NewConfig(opts ...Option) Config {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// WithMaxSteps sets the superstep safety cap (<= 0 selects the default).
+func WithMaxSteps(n int) Option {
+	return func(c *Config) { c.MaxSteps = n }
+}
+
+// WithTransports supplies one transport per worker; a single transport
+// serving all workers (the Mem case) is shared.
+func WithTransports(ts ...transport.Transport) Option {
+	return func(c *Config) { c.Transports = ts }
+}
+
+// WithReplicaVerification makes Run fail if replicas of the same vertex
+// disagree at termination.
+func WithReplicaVerification(on bool) Option {
+	return func(c *Config) { c.VerifyReplicaAgreement = on }
 }
 
 // WorkerStats records a worker's per-superstep instrumentation.
@@ -107,6 +139,18 @@ type Result struct {
 // Run partitions nothing: it executes prog over the given subgraphs (built
 // with BuildSubgraphs) until global quiescence.
 func Run(subs []*Subgraph, prog Program, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), subs, prog, cfg)
+}
+
+// RunCtx is Run with cancellation: each worker polls ctx at every superstep
+// boundary, and cancellation additionally closes the transports so workers
+// blocked in a collective exchange are released immediately — a canceled
+// run returns ctx.Err() within one superstep of wall time, never a partial
+// result. The transports are unusable afterwards (a canceled run is over).
+func RunCtx(ctx context.Context, subs []*Subgraph, prog Program, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	k := len(subs)
 	if k == 0 {
 		return nil, errors.New("bsp: no subgraphs")
@@ -122,6 +166,16 @@ func Run(subs []*Subgraph, prog Program, cfg Config) (*Result, error) {
 	}
 	defer cleanup()
 
+	// On cancellation, unblock workers stuck in a collective exchange by
+	// closing every transport; runWorker maps the resulting transport
+	// error back to ctx.Err().
+	stopWatch := context.AfterFunc(ctx, func() {
+		for _, tr := range transports {
+			_ = tr.Close()
+		}
+	})
+	defer stopWatch()
+
 	res := &Result{Workers: make([]WorkerStats, k)}
 	workerValues := make([][]float64, k)
 	errs := make([]error, k)
@@ -134,12 +188,15 @@ func Run(subs []*Subgraph, prog Program, cfg Config) (*Result, error) {
 		go func(w int) {
 			defer wg.Done()
 			steps[w], workerValues[w], errs[w] =
-				runWorker(w, subs[w], prog, transports[w], maxSteps, &res.Workers[w])
+				runWorker(ctx, w, subs[w], prog, transports[w], maxSteps, &res.Workers[w])
 		}(w)
 	}
 	wg.Wait()
 	res.WallTime = time.Since(start)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for w := 0; w < k; w++ {
 		if errs[w] != nil {
 			return nil, fmt.Errorf("bsp: worker %d: %w", w, errs[w])
@@ -192,11 +249,14 @@ func resolveTransports(cfg Config, k int) ([]transport.Transport, func(), error)
 
 // runWorker is the per-worker superstep loop. It returns the executed
 // superstep count and the final local vertex values.
-func runWorker(w int, sub *Subgraph, prog Program, tr transport.Transport,
+func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr transport.Transport,
 	maxSteps int, stats *WorkerStats) (int, []float64, error) {
 	wp := prog.NewWorker(sub)
 	var inbox []transport.Message
 	for step := 0; step < maxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return step, nil, err
+		}
 		t0 := time.Now()
 		out, active := wp.Superstep(step, inbox)
 		comp := time.Since(t0)
@@ -214,6 +274,11 @@ func runWorker(w int, sub *Subgraph, prog Program, tr transport.Transport,
 		t1 := time.Now()
 		ex, err := tr.Exchange(w, step, out, effectiveActive)
 		if err != nil {
+			// A cancellation closes the transport under us; report the
+			// cancellation, not the induced transport error.
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return step, nil, ctxErr
+			}
 			return step, nil, fmt.Errorf("exchange step %d: %w", step, err)
 		}
 		commsync := time.Since(t1)
@@ -261,6 +326,18 @@ type WorkerResult struct {
 // given transport (typically transport.NewTCPWorker); the peer workers run
 // in other processes. It blocks until global quiescence.
 func RunWorker(sub *Subgraph, prog Program, tr transport.Transport, maxSteps int) (*WorkerResult, error) {
+	return RunWorkerCtx(context.Background(), sub, prog, tr, maxSteps)
+}
+
+// RunWorkerCtx is RunWorker with cancellation: ctx is polled at every
+// superstep boundary, and cancellation closes the transport so a worker
+// blocked mid-exchange tears down immediately (its peers observe the
+// closed connections and fail their own exchanges — the distributed
+// analogue of a crashed process).
+func RunWorkerCtx(ctx context.Context, sub *Subgraph, prog Program, tr transport.Transport, maxSteps int) (*WorkerResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if sub == nil {
 		return nil, errors.New("bsp: nil subgraph")
 	}
@@ -271,10 +348,15 @@ func RunWorker(sub *Subgraph, prog Program, tr transport.Transport, maxSteps int
 	if maxSteps <= 0 {
 		maxSteps = 100000
 	}
+	stopWatch := context.AfterFunc(ctx, func() { _ = tr.Close() })
+	defer stopWatch()
 	res := &WorkerResult{}
 	start := time.Now()
-	steps, values, err := runWorker(sub.Part, sub, prog, tr, maxSteps, &res.Stats)
+	steps, values, err := runWorker(ctx, sub.Part, sub, prog, tr, maxSteps, &res.Stats)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("bsp: worker %d: %w", sub.Part, err)
 	}
 	res.Steps = steps

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -62,7 +63,7 @@ type EBV struct {
 	growth      func(edgesProcessed int, replicationFactor float64)
 }
 
-var _ partition.Partitioner = (*EBV)(nil)
+var _ partition.ContextPartitioner = (*EBV)(nil)
 
 // Option configures an EBV instance.
 type Option func(*EBV)
@@ -119,6 +120,13 @@ func (e *EBV) Beta() float64 { return e.beta }
 
 // Partition implements partition.Partitioner with Algorithm 1.
 func (e *EBV) Partition(g *graph.Graph, k int) (*partition.Assignment, error) {
+	return e.PartitionCtx(context.Background(), g, k)
+}
+
+// PartitionCtx implements partition.ContextPartitioner: the assignment loop
+// polls ctx every partition.CancelCheckInterval edges and returns ctx.Err()
+// promptly on cancellation.
+func (e *EBV) PartitionCtx(ctx context.Context, g *graph.Graph, k int) (*partition.Assignment, error) {
 	if k < 1 {
 		return nil, partition.ErrBadPartCount
 	}
@@ -149,6 +157,11 @@ func (e *EBV) Partition(g *graph.Graph, k int) (*partition.Assignment, error) {
 
 	totalReplicas := 0
 	for idx, edgeID := range order {
+		if idx%partition.CancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ed := g.Edge(int(edgeID))
 		u, v := int(ed.Src), int(ed.Dst)
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -35,13 +36,20 @@ type ParallelEBV struct {
 	NoSort bool
 }
 
-var _ partition.Partitioner = (*ParallelEBV)(nil)
+var _ partition.ContextPartitioner = (*ParallelEBV)(nil)
 
 // Name implements partition.Partitioner.
 func (p *ParallelEBV) Name() string { return "EBV-parallel" }
 
 // Partition implements partition.Partitioner.
 func (p *ParallelEBV) Partition(g *graph.Graph, k int) (*partition.Assignment, error) {
+	return p.PartitionCtx(context.Background(), g, k)
+}
+
+// PartitionCtx implements partition.ContextPartitioner: ctx is polled at
+// every epoch barrier (epochs are at most 4096 edges per worker, so the
+// cancellation latency is bounded by one epoch of work).
+func (p *ParallelEBV) PartitionCtx(ctx context.Context, g *graph.Graph, k int) (*partition.Assignment, error) {
 	if k < 1 {
 		return nil, partition.ErrBadPartCount
 	}
@@ -106,6 +114,9 @@ func (p *ParallelEBV) Partition(g *graph.Graph, k int) (*partition.Assignment, e
 
 	cursor := 0
 	for cursor < numE {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Carve one shard per worker for this epoch.
 		type shard struct {
 			edges []int32

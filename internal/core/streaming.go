@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ebv/internal/graph"
@@ -198,7 +199,7 @@ type PartitionStream struct {
 	Window      int
 }
 
-var _ partition.Partitioner = (*PartitionStream)(nil)
+var _ partition.ContextPartitioner = (*PartitionStream)(nil)
 
 // Name implements partition.Partitioner.
 func (p *PartitionStream) Name() string {
@@ -210,6 +211,13 @@ func (p *PartitionStream) Name() string {
 
 // Partition implements partition.Partitioner.
 func (p *PartitionStream) Partition(g *graph.Graph, k int) (*partition.Assignment, error) {
+	return p.PartitionCtx(context.Background(), g, k)
+}
+
+// PartitionCtx implements partition.ContextPartitioner: the edge stream is
+// checked against ctx every partition.CancelCheckInterval additions, so a
+// canceled context stops the underlying StreamingEBV promptly.
+func (p *PartitionStream) PartitionCtx(ctx context.Context, g *graph.Graph, k int) (*partition.Assignment, error) {
 	a := partition.NewAssignment(k, g.NumEdges())
 	// Emit order differs from input order under a window, so track the
 	// next unassigned index per edge identity via a cursor over equal
@@ -236,7 +244,12 @@ func (p *PartitionStream) Partition(g *graph.Graph, k int) (*partition.Assignmen
 	if err != nil {
 		return nil, err
 	}
-	for _, e := range g.Edges() {
+	for i, e := range g.Edges() {
+		if i%partition.CancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if err := s.Add(e); err != nil {
 			return nil, err
 		}

@@ -14,6 +14,7 @@
 package ginger
 
 import (
+	"context"
 	"fmt"
 
 	"ebv/internal/graph"
@@ -31,7 +32,7 @@ type Ginger struct {
 	Salt uint64
 }
 
-var _ partition.Partitioner = (*Ginger)(nil)
+var _ partition.ContextPartitioner = (*Ginger)(nil)
 
 // Name implements partition.Partitioner.
 func (gg *Ginger) Name() string { return "Ginger" }
@@ -47,6 +48,12 @@ func hashVertex(v graph.VertexID, salt uint64) uint64 {
 
 // Partition implements partition.Partitioner.
 func (gg *Ginger) Partition(g *graph.Graph, k int) (*partition.Assignment, error) {
+	return gg.PartitionCtx(context.Background(), g, k)
+}
+
+// PartitionCtx implements partition.ContextPartitioner: the placement loop
+// polls ctx every partition.CancelCheckInterval vertices.
+func (gg *Ginger) PartitionCtx(ctx context.Context, g *graph.Graph, k int) (*partition.Assignment, error) {
 	if k < 1 {
 		return nil, partition.ErrBadPartCount
 	}
@@ -93,6 +100,11 @@ func (gg *Ginger) Partition(g *graph.Graph, k int) (*partition.Assignment, error
 	gamma := float64(numV) / float64(numE)
 
 	for v := 0; v < numV; v++ {
+		if v%partition.CancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		vid := graph.VertexID(v)
 		indeg := in.Degree(vid)
 		if indeg == 0 {

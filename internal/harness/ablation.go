@@ -72,7 +72,7 @@ func AblationSortOrder(opt Options) (*AblationResult, error) {
 		}
 		k := PaperWorkerCount(analogue)
 		for _, v := range variants {
-			a, err := core.New(core.WithOrder(v.order)).Partition(g, k)
+			a, err := core.New(core.WithOrder(v.order)).PartitionCtx(opt.Context(), g, k)
 			if err != nil {
 				return nil, err
 			}
@@ -102,7 +102,7 @@ func AblationAlphaBeta(opt Options) (*AblationResult, error) {
 	for _, ab := range []struct{ alpha, beta float64 }{
 		{0.1, 0.1}, {0.5, 0.5}, {1, 1}, {2, 2}, {10, 10}, {1, 10}, {10, 1},
 	} {
-		a, err := core.New(core.WithAlpha(ab.alpha), core.WithBeta(ab.beta)).Partition(g, k)
+		a, err := core.New(core.WithAlpha(ab.alpha), core.WithBeta(ab.beta)).PartitionCtx(opt.Context(), g, k)
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +139,7 @@ func AblationStreaming(opt Options) (*AblationResult, error) {
 		}
 		k := PaperWorkerCount(analogue)
 		for _, p := range configs {
-			a, err := p.Partition(g, k)
+			a, err := partition.PartitionWithContext(opt.Context(), p, g, k)
 			if err != nil {
 				return nil, err
 			}

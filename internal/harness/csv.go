@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -176,6 +177,16 @@ func formatFloat(f float64) string {
 
 // RunCSV executes the named experiment and writes its CSV form to w.
 func RunCSV(name string, opt Options, w io.Writer) error {
+	return runCSV(name, opt, w)
+}
+
+// RunCSVCtx is RunCSV with cancellation (see RunCtx).
+func RunCSVCtx(ctx context.Context, name string, opt Options, w io.Writer) error {
+	opt.ctx = ctx
+	return runCSV(name, opt, w)
+}
+
+func runCSV(name string, opt Options, w io.Writer) error {
 	switch name {
 	case "table1":
 		r, err := Table1(opt)

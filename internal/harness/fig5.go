@@ -76,7 +76,7 @@ func Fig5(opt Options) (*Fig5Result, error) {
 						curve.ReplicationFactor = append(curve.ReplicationFactor, rf)
 					}),
 				)
-				if _, err := e.Partition(g, k); err != nil {
+				if _, err := e.PartitionCtx(opt.Context(), g, k); err != nil {
 					return nil, fmt.Errorf("harness: fig5 %s k=%d: %w", analogue, k, err)
 				}
 				res.Curves = append(res.Curves, curve)

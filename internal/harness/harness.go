@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -23,7 +24,10 @@ import (
 	"ebv/internal/partition"
 )
 
-// Options configures every experiment.
+// Options configures every experiment. The zero value selects the
+// defaults; it can be populated either as a struct literal (the legacy
+// form, still supported) or with the functional options accepted by
+// NewOptions.
 type Options struct {
 	// Scale multiplies the baseline graph sizes (DESIGN.md §2). Tests use
 	// ~0.1; the bench harness defaults to 1.
@@ -41,6 +45,53 @@ type Options struct {
 	// Repeat re-runs timing experiments (Table II) this many times and
 	// reports mean ± stddev (default 1).
 	Repeat int
+
+	// ctx carries cancellation into the experiment internals; it is set by
+	// RunCtx/RunCSVCtx/WithContext and deliberately unexported so the
+	// struct-literal form keeps compiling (nil = Background).
+	ctx context.Context
+}
+
+// Option configures Options functionally.
+type Option func(*Options)
+
+// NewOptions builds Options from functional options.
+func NewOptions(opts ...Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithScale sets the graph size multiplier.
+func WithScale(scale float64) Option { return func(o *Options) { o.Scale = scale } }
+
+// WithSeed sets the generator seed.
+func WithSeed(seed uint64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithWorkers overrides the per-figure worker-count sweep.
+func WithWorkers(workers ...int) Option { return func(o *Options) { o.Workers = workers } }
+
+// WithPageRankIters bounds PageRank work.
+func WithPageRankIters(n int) Option { return func(o *Options) { o.PageRankIters = n } }
+
+// WithExtended adds the beyond-the-paper partitioner columns.
+func WithExtended(on bool) Option { return func(o *Options) { o.Extended = on } }
+
+// WithRepeat re-runs timing experiments this many times.
+func WithRepeat(n int) Option { return func(o *Options) { o.Repeat = n } }
+
+// WithContext attaches a cancellation context: long experiments poll it
+// between partition/run cells and abort with ctx.Err().
+func WithContext(ctx context.Context) Option { return func(o *Options) { o.ctx = ctx } }
+
+// Context returns the experiment context (Background if unset).
+func (o Options) Context() context.Context {
+	if o.ctx == nil {
+		return context.Background()
+	}
+	return o.ctx
 }
 
 func (o Options) scale() float64 {
@@ -188,6 +239,18 @@ func ExperimentNames() []string {
 
 // Run executes the named experiment and prints it to w.
 func Run(name string, opt Options, w io.Writer) error {
+	return run(name, opt, w)
+}
+
+// RunCtx is Run with cancellation: ctx is threaded through the experiment
+// internals (every partition cell and BSP run), so canceling it aborts the
+// experiment promptly with ctx.Err().
+func RunCtx(ctx context.Context, name string, opt Options, w io.Writer) error {
+	opt.ctx = ctx
+	return run(name, opt, w)
+}
+
+func run(name string, opt Options, w io.Writer) error {
 	switch name {
 	case "table1":
 		r, err := Table1(opt)

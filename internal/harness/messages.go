@@ -65,7 +65,7 @@ func computeMessages(opt Options) (*MessagesResult, error) {
 		k := PaperWorkerCount(analogue)
 		row := MessageRow{Graph: analogue.String(), Workers: k}
 		for _, p := range opt.tablePartitioners() {
-			metrics, err := metricsCell(g, p, k)
+			metrics, err := metricsCell(opt.Context(), g, p, k)
 			if err != nil {
 				return nil, err
 			}

@@ -52,9 +52,11 @@ func (a App) vertexProgram(opt Options) (pregel.VertexProgram, error) {
 }
 
 // runBSP partitions g with p into k subgraphs and runs the app on the
-// subgraph-centric engine over the in-memory transport.
+// subgraph-centric engine over the in-memory transport. Both stages honor
+// the experiment context carried by opt.
 func runBSP(g *graph.Graph, p partition.Partitioner, k int, app App, opt Options) (*bsp.Result, error) {
-	a, err := p.Partition(g, k)
+	ctx := opt.Context()
+	a, err := partition.PartitionWithContext(ctx, p, g, k)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s partition: %w", p.Name(), err)
 	}
@@ -66,7 +68,7 @@ func runBSP(g *graph.Graph, p partition.Partitioner, k int, app App, opt Options
 	if err != nil {
 		return nil, err
 	}
-	res, err := bsp.Run(subs, prog, bsp.Config{})
+	res, err := bsp.RunCtx(ctx, subs, prog, bsp.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("harness: run %s over %s: %w", app, p.Name(), err)
 	}
@@ -79,7 +81,7 @@ func runVC(g *graph.Graph, k int, app App, opt Options) (*pregel.Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := pregel.Run(g, k, prog, pregel.Config{})
+	res, err := pregel.RunCtx(opt.Context(), g, k, prog, pregel.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("harness: vertex-centric %s: %w", app, err)
 	}

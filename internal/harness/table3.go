@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -67,7 +68,7 @@ func Table3(opt Options) (*Table3Result, error) {
 		stats := graph.ComputeStats(g)
 		row := Table3Row{Graph: analogue.String(), Eta: stats.Eta, Workers: k}
 		for _, p := range opt.tablePartitioners() {
-			cell, err := metricsCell(g, p, k)
+			cell, err := metricsCell(opt.Context(), g, p, k)
 			if err != nil {
 				return nil, err
 			}
@@ -78,9 +79,12 @@ func Table3(opt Options) (*Table3Result, error) {
 	return res, nil
 }
 
-func metricsCell(g *graph.Graph, p partition.Partitioner, k int) (Table3Cell, error) {
+func metricsCell(ctx context.Context, g *graph.Graph, p partition.Partitioner, k int) (Table3Cell, error) {
+	if err := ctx.Err(); err != nil {
+		return Table3Cell{}, err
+	}
 	if m, ok := p.(*metis.Metis); ok {
-		owners, err := m.VertexPartition(g, k)
+		owners, err := m.VertexPartitionCtx(ctx, g, k)
 		if err != nil {
 			return Table3Cell{}, fmt.Errorf("harness: METIS ownership: %w", err)
 		}
@@ -95,7 +99,7 @@ func metricsCell(g *graph.Graph, p partition.Partitioner, k int) (Table3Cell, er
 			ReplicationFactor: ec.ReplicationFactor,
 		}, nil
 	}
-	a, err := p.Partition(g, k)
+	a, err := partition.PartitionWithContext(ctx, p, g, k)
 	if err != nil {
 		return Table3Cell{}, fmt.Errorf("harness: %s partition: %w", p.Name(), err)
 	}

@@ -17,6 +17,7 @@
 package metis
 
 import (
+	"context"
 	"sort"
 
 	"ebv/internal/graph"
@@ -38,7 +39,7 @@ type Metis struct {
 	RefinePasses int
 }
 
-var _ partition.Partitioner = (*Metis)(nil)
+var _ partition.ContextPartitioner = (*Metis)(nil)
 
 // Name implements partition.Partitioner.
 func (m *Metis) Name() string { return "METIS" }
@@ -59,6 +60,14 @@ func (wg *wgraph) numVertices() int { return len(wg.vwgt) }
 
 // Partition implements partition.Partitioner.
 func (m *Metis) Partition(g *graph.Graph, k int) (*partition.Assignment, error) {
+	return m.PartitionCtx(context.Background(), g, k)
+}
+
+// PartitionCtx implements partition.ContextPartitioner: ctx is polled at
+// every multilevel phase boundary (each coarsening level, the initial
+// partition, and each refinement level), bounding cancellation latency by
+// one level of work.
+func (m *Metis) PartitionCtx(ctx context.Context, g *graph.Graph, k int) (*partition.Assignment, error) {
 	if k < 1 {
 		return nil, partition.ErrBadPartCount
 	}
@@ -66,7 +75,7 @@ func (m *Metis) Partition(g *graph.Graph, k int) (*partition.Assignment, error) 
 	if g.NumEdges() == 0 || k == 1 {
 		return a, nil
 	}
-	parts, err := m.VertexPartition(g, k)
+	parts, err := m.vertexPartition(ctx, g, k)
 	if err != nil {
 		return nil, err
 	}
@@ -80,6 +89,16 @@ func (m *Metis) Partition(g *graph.Graph, k int) (*partition.Assignment, error) 
 // VertexPartition computes the owner of every vertex — the edge-cut vertex
 // partition itself, which the Pregel engine and tests use directly.
 func (m *Metis) VertexPartition(g *graph.Graph, k int) ([]int32, error) {
+	return m.vertexPartition(context.Background(), g, k)
+}
+
+// VertexPartitionCtx is VertexPartition with cooperative cancellation at
+// every multilevel phase boundary.
+func (m *Metis) VertexPartitionCtx(ctx context.Context, g *graph.Graph, k int) ([]int32, error) {
+	return m.vertexPartition(ctx, g, k)
+}
+
+func (m *Metis) vertexPartition(ctx context.Context, g *graph.Graph, k int) ([]int32, error) {
 	if k < 1 {
 		return nil, partition.ErrBadPartCount
 	}
@@ -114,6 +133,9 @@ func (m *Metis) VertexPartition(g *graph.Graph, k int) ([]int32, error) {
 	levels := []level{{wg: base}}
 	cur := base
 	for cur.numVertices() > coarsenTo {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		coarse, cmap := coarsen(cur, r)
 		if coarse.numVertices() >= cur.numVertices()*95/100 {
 			break // matching stalled; further coarsening is pointless
@@ -123,11 +145,17 @@ func (m *Metis) VertexPartition(g *graph.Graph, k int) ([]int32, error) {
 	}
 
 	// Initial partition of the coarsest graph.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	parts := initialPartition(cur, k, imbalance, r)
 
 	// Uncoarsening with refinement.
 	refine(cur, parts, k, imbalance, passes)
 	for li := len(levels) - 1; li >= 1; li-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		fine := levels[li-1].wg
 		cmap := levels[li].cmap
 		fineParts := make([]int32, fine.numVertices())

@@ -12,6 +12,7 @@ package ne
 
 import (
 	"container/heap"
+	"context"
 
 	"ebv/internal/graph"
 	"ebv/internal/partition"
@@ -20,7 +21,7 @@ import (
 // NE is the neighbor-expansion partitioner. The zero value is ready to use.
 type NE struct{}
 
-var _ partition.Partitioner = (*NE)(nil)
+var _ partition.ContextPartitioner = (*NE)(nil)
 
 // Name implements partition.Partitioner.
 func (n *NE) Name() string { return "NE" }
@@ -54,6 +55,12 @@ func (h *boundaryHeap) Pop() interface{} {
 
 // Partition implements partition.Partitioner.
 func (n *NE) Partition(g *graph.Graph, k int) (*partition.Assignment, error) {
+	return n.PartitionCtx(context.Background(), g, k)
+}
+
+// PartitionCtx implements partition.ContextPartitioner: the expansion loop
+// polls ctx every partition.CancelCheckInterval promotions.
+func (n *NE) PartitionCtx(ctx context.Context, g *graph.Graph, k int) (*partition.Assignment, error) {
 	if k < 1 {
 		return nil, partition.ErrBadPartCount
 	}
@@ -80,6 +87,7 @@ func (n *NE) Partition(g *graph.Graph, k int) (*partition.Assignment, error) {
 	seedCursor := 0
 
 	remaining := numE
+	promotions := 0
 	for part := 0; part < k; part++ {
 		target := remaining / (k - part)
 		if part == k-1 {
@@ -140,6 +148,12 @@ func (n *NE) Partition(g *graph.Graph, k int) (*partition.Assignment, error) {
 		}
 
 		for allocated < target {
+			if promotions%partition.CancelCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			promotions++
 			var x graph.VertexID
 			if bh.Len() == 0 {
 				// Boundary exhausted: seed with the unassigned vertex of

@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"math"
 
 	"ebv/internal/graph"
@@ -25,14 +26,20 @@ type Fennel struct {
 	Nu float64
 }
 
-var _ Partitioner = (*Fennel)(nil)
+var _ ContextPartitioner = (*Fennel)(nil)
 
 // Name implements Partitioner.
 func (f *Fennel) Name() string { return "Fennel" }
 
 // Partition implements Partitioner.
 func (f *Fennel) Partition(g *graph.Graph, k int) (*Assignment, error) {
-	owners, err := f.VertexPartition(g, k)
+	return f.PartitionCtx(context.Background(), g, k)
+}
+
+// PartitionCtx implements ContextPartitioner: the vertex stream polls ctx
+// every CancelCheckInterval placements.
+func (f *Fennel) PartitionCtx(ctx context.Context, g *graph.Graph, k int) (*Assignment, error) {
+	owners, err := f.vertexPartition(ctx, g, k)
 	if err != nil {
 		return nil, err
 	}
@@ -46,6 +53,10 @@ func (f *Fennel) Partition(g *graph.Graph, k int) (*Assignment, error) {
 // VertexPartition runs the streaming vertex placement and returns the
 // owner of every vertex.
 func (f *Fennel) VertexPartition(g *graph.Graph, k int) ([]int32, error) {
+	return f.vertexPartition(context.Background(), g, k)
+}
+
+func (f *Fennel) vertexPartition(ctx context.Context, g *graph.Graph, k int) ([]int32, error) {
 	if k < 1 {
 		return nil, ErrBadPartCount
 	}
@@ -72,6 +83,11 @@ func (f *Fennel) VertexPartition(g *graph.Graph, k int) ([]int32, error) {
 	sizes := make([]int, k)
 	neighborCount := make([]int, k)
 	for v := 0; v < n; v++ {
+		if v%CancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for p := range neighborCount {
 			neighborCount[p] = 0
 		}

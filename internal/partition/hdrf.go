@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"context"
+
 	"ebv/internal/graph"
 )
 
@@ -21,13 +23,19 @@ type HDRF struct {
 	Lambda float64
 }
 
-var _ Partitioner = (*HDRF)(nil)
+var _ ContextPartitioner = (*HDRF)(nil)
 
 // Name implements Partitioner.
 func (h *HDRF) Name() string { return "HDRF" }
 
 // Partition implements Partitioner.
 func (h *HDRF) Partition(g *graph.Graph, k int) (*Assignment, error) {
+	return h.PartitionCtx(context.Background(), g, k)
+}
+
+// PartitionCtx implements ContextPartitioner: the edge stream polls ctx
+// every CancelCheckInterval edges.
+func (h *HDRF) PartitionCtx(ctx context.Context, g *graph.Graph, k int) (*Assignment, error) {
 	if k < 1 {
 		return nil, ErrBadPartCount
 	}
@@ -48,6 +56,11 @@ func (h *HDRF) Partition(g *graph.Graph, k int) (*Assignment, error) {
 	partialDeg := make([]int32, numV)
 
 	for i, e := range g.Edges() {
+		if i%CancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		u, v := int(e.Src), int(e.Dst)
 		partialDeg[u]++
 		partialDeg[v]++

@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"context"
+
 	"ebv/internal/graph"
 )
 
@@ -19,13 +21,19 @@ type Hybrid struct {
 	Salt uint64
 }
 
-var _ Partitioner = (*Hybrid)(nil)
+var _ ContextPartitioner = (*Hybrid)(nil)
 
 // Name implements Partitioner.
 func (h *Hybrid) Name() string { return "Hybrid" }
 
 // Partition implements Partitioner.
 func (h *Hybrid) Partition(g *graph.Graph, k int) (*Assignment, error) {
+	return h.PartitionCtx(context.Background(), g, k)
+}
+
+// PartitionCtx implements ContextPartitioner: the edge stream polls ctx
+// every CancelCheckInterval edges.
+func (h *Hybrid) PartitionCtx(ctx context.Context, g *graph.Graph, k int) (*Assignment, error) {
 	if k < 1 {
 		return nil, ErrBadPartCount
 	}
@@ -38,6 +46,11 @@ func (h *Hybrid) Partition(g *graph.Graph, k int) (*Assignment, error) {
 	}
 	a := NewAssignment(k, g.NumEdges())
 	for i, e := range g.Edges() {
+		if i%CancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if g.InDegree(e.Dst) > threshold {
 			a.Parts[i] = int32(hashVertex(e.Src, h.Salt) % uint64(k))
 		} else {

@@ -11,6 +11,7 @@
 package pregel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -95,6 +96,15 @@ var ErrMaxSteps = errors.New("pregel: exceeded max supersteps without converging
 
 // Run executes prog over g with k workers.
 func Run(g *graph.Graph, k int, prog VertexProgram, cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), g, k, prog, cfg)
+}
+
+// RunCtx is Run with cancellation: ctx is polled at every superstep
+// barrier, so a canceled run returns ctx.Err() within one superstep.
+func RunCtx(ctx context.Context, g *graph.Graph, k int, prog VertexProgram, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 1 {
 		return nil, fmt.Errorf("pregel: need at least one worker, got %d", k)
 	}
@@ -156,6 +166,9 @@ func Run(g *graph.Graph, k int, prog VertexProgram, cfg Config) (*Result, error)
 
 	start := time.Now()
 	for step := 0; step < maxSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if fixed > 0 && step >= fixed {
 			break
 		}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -36,6 +37,17 @@ var _ Transport = (*TCP)(nil)
 // deployment would dial remote addresses instead but uses the same frame
 // protocol.
 func NewTCPMesh(k int) ([]*TCP, error) {
+	return NewTCPMeshCtx(context.Background(), k)
+}
+
+// NewTCPMeshCtx is NewTCPMesh with cancellation: dials honor ctx's
+// deadline/cancellation, and canceling ctx while the mesh is being wired
+// closes the listeners so blocked accepts abort. A canceled construction
+// returns ctx.Err() with every partially-opened connection closed.
+func NewTCPMeshCtx(ctx context.Context, k int) ([]*TCP, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 1 {
 		return nil, fmt.Errorf("transport: need at least 1 worker, got %d", k)
 	}
@@ -53,7 +65,13 @@ func NewTCPMesh(k int) ([]*TCP, error) {
 		ts[i] = &TCP{worker: i, k: k, conns: make([]net.Conn, k)}
 	}
 
+	// Cancellation mid-wiring: closing the listeners aborts blocked
+	// accepts; in-flight dials abort through DialContext.
+	stopWatch := context.AfterFunc(ctx, func() { closeAll(listeners) })
+	defer stopWatch()
+
 	// Dial the upper triangle concurrently; accept on the lower.
+	var dialer net.Dialer
 	var wg sync.WaitGroup
 	errCh := make(chan error, 1)
 	for i := 0; i < k; i++ {
@@ -61,7 +79,7 @@ func NewTCPMesh(k int) ([]*TCP, error) {
 			wg.Add(1)
 			go func(i, j int) {
 				defer wg.Done()
-				conn, err := net.Dial("tcp", listeners[j].Addr().String())
+				conn, err := dialer.DialContext(ctx, "tcp", listeners[j].Addr().String())
 				if err != nil {
 					select {
 					case errCh <- fmt.Errorf("transport: dial %d->%d: %w", i, j, err):
@@ -118,6 +136,12 @@ func NewTCPMesh(k int) ([]*TCP, error) {
 	}
 	wg.Wait()
 	closeAll(listeners)
+	if err := ctx.Err(); err != nil {
+		for _, t := range ts {
+			_ = t.Close()
+		}
+		return nil, err
+	}
 	select {
 	case err := <-errCh:
 		for _, t := range ts {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -17,6 +18,17 @@ import (
 // dialTimeout). This is the entry point cmd/ebv-worker uses to run one BSP
 // worker per OS process (or per host).
 func NewTCPWorker(worker int, addrs []string, dialTimeout time.Duration) (*TCP, error) {
+	return NewTCPWorkerCtx(context.Background(), worker, addrs, dialTimeout)
+}
+
+// NewTCPWorkerCtx is NewTCPWorker with cancellation: the dial retry loop
+// and the accept loop both honor ctx (a SIGINT while waiting for peers
+// tears the worker down immediately instead of spinning until
+// dialTimeout).
+func NewTCPWorkerCtx(ctx context.Context, worker int, addrs []string, dialTimeout time.Duration) (*TCP, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	k := len(addrs)
 	if worker < 0 || worker >= k {
 		return nil, fmt.Errorf("transport: worker %d out of range [0,%d)", worker, k)
@@ -34,6 +46,9 @@ func NewTCPWorker(worker int, addrs []string, dialTimeout time.Duration) (*TCP, 
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[worker], err)
 	}
 	defer ln.Close()
+	// Cancellation aborts a blocked Accept by closing the listener.
+	stopWatch := context.AfterFunc(ctx, func() { _ = ln.Close() })
+	defer stopWatch()
 
 	// Dial higher-id peers in the background with retry; accept from
 	// lower ids in the foreground.
@@ -43,7 +58,7 @@ func NewTCPWorker(worker int, addrs []string, dialTimeout time.Duration) (*TCP, 
 		defer close(done)
 		deadline := time.Now().Add(dialTimeout)
 		for peer := worker + 1; peer < k; peer++ {
-			conn, err := dialWithRetry(addrs[peer], deadline)
+			conn, err := dialWithRetry(ctx, addrs[peer], deadline)
 			if err != nil {
 				select {
 				case dialErr <- fmt.Errorf("transport: dial peer %d (%s): %w", peer, addrs[peer], err):
@@ -97,12 +112,18 @@ func NewTCPWorker(worker int, addrs []string, dialTimeout time.Duration) (*TCP, 
 		case a := <-acceptCh:
 			if a.err != nil {
 				_ = t.Close()
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
 				return nil, fmt.Errorf("transport: accept at worker %d: %w", worker, a.err)
 			}
 			t.conns[a.peer] = a.conn
 		case err := <-dialErr:
 			_ = t.Close()
 			return nil, err
+		case <-ctx.Done():
+			_ = t.Close()
+			return nil, ctx.Err()
 		case <-timeout:
 			_ = t.Close()
 			return nil, fmt.Errorf("transport: worker %d timed out waiting for peers", worker)
@@ -113,6 +134,9 @@ func NewTCPWorker(worker int, addrs []string, dialTimeout time.Duration) (*TCP, 
 	case err := <-dialErr:
 		_ = t.Close()
 		return nil, err
+	case <-ctx.Done():
+		_ = t.Close()
+		return nil, ctx.Err()
 	case <-timeout:
 		_ = t.Close()
 		return nil, fmt.Errorf("transport: worker %d timed out dialing peers", worker)
@@ -133,15 +157,24 @@ func NewTCPWorker(worker int, addrs []string, dialTimeout time.Duration) (*TCP, 
 	return t, nil
 }
 
-func dialWithRetry(addr string, deadline time.Time) (net.Conn, error) {
+func dialWithRetry(ctx context.Context, addr string, deadline time.Time) (net.Conn, error) {
 	var lastErr error
 	for time.Now().Before(deadline) {
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		dialCtx, cancel := context.WithTimeout(ctx, time.Second)
+		conn, err := (&net.Dialer{}).DialContext(dialCtx, "tcp", addr)
+		cancel()
 		if err == nil {
 			return conn, nil
 		}
 		lastErr = err
-		time.Sleep(100 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("deadline passed")

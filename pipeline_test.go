@@ -1,0 +1,226 @@
+// Tests for the Pipeline facade: the one-call partition→build→run chain,
+// its cancellation behaviour at every stage, and the progress reporting.
+package ebv_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ebv"
+	"ebv/internal/transport"
+)
+
+func pipelineGraph(t testing.TB) *ebv.Graph {
+	t.Helper()
+	g, err := ebv.PowerLaw(ebv.PowerLawConfig{
+		NumVertices: 2000, NumEdges: 16000, Eta: 2.3, Directed: false, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestPipelineEndToEnd runs generate → partition → build → CC → metrics in
+// one call and cross-checks the distributed result against the sequential
+// oracle.
+func TestPipelineEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	var events []ebv.PipelineProgress
+	res, err := ebv.NewPipeline(
+		ebv.FromGenerator(func() (*ebv.Graph, error) { return pipelineGraph(t), nil }),
+		ebv.UsePartitioner(ebv.NewEBV()),
+		ebv.Subgraphs(4),
+		ebv.WithRun(ebv.WithReplicaVerification(true)),
+		ebv.OnProgress(func(p ebv.PipelineProgress) {
+			mu.Lock()
+			events = append(events, p)
+			mu.Unlock()
+		}),
+	).Run(context.Background(), &ebv.CC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Graph == nil || res.Assignment == nil || res.BSP == nil || len(res.Subgraphs) != 4 {
+		t.Fatalf("incomplete result: %+v", res)
+	}
+	if res.PartitionerName != "EBV" {
+		t.Fatalf("PartitionerName = %q, want EBV", res.PartitionerName)
+	}
+	if res.Metrics.ReplicationFactor < 1 {
+		t.Fatalf("replication factor %.3f < 1", res.Metrics.ReplicationFactor)
+	}
+	want := ebv.SequentialCC(res.Graph)
+	for v, got := range res.BSP.Values {
+		if got != want[v] {
+			t.Fatalf("vertex %d: pipeline CC %g, oracle %g", v, got, want[v])
+		}
+	}
+
+	// Progress: every stage emits a start and a done event, in pipeline
+	// order, with the done event carrying the stage duration.
+	wantStages := []ebv.PipelineStage{
+		ebv.StageLoad, ebv.StagePartition, ebv.StageMetrics, ebv.StageBuild, ebv.StageRun,
+	}
+	if len(events) != 2*len(wantStages) {
+		t.Fatalf("got %d progress events, want %d", len(events), 2*len(wantStages))
+	}
+	for i, stage := range wantStages {
+		start, done := events[2*i], events[2*i+1]
+		if start.Stage != stage || start.Done {
+			t.Fatalf("event %d = %+v, want start of %s", 2*i, start, stage)
+		}
+		if done.Stage != stage || !done.Done {
+			t.Fatalf("event %d = %+v, want completion of %s", 2*i+1, done, stage)
+		}
+	}
+}
+
+// TestPipelineCancelMidPartition cancels from inside EBV's growth callback,
+// so the cancellation lands deterministically mid-partition; Run must
+// return ctx.Err() without reaching the later stages.
+func TestPipelineCancelMidPartition(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sawRun bool
+	p := ebv.NewPipeline(
+		ebv.FromGraph(pipelineGraph(t)),
+		ebv.UsePartitioner(ebv.NewEBV(ebv.WithGrowthTracking(512, func(int, float64) { cancel() }))),
+		ebv.Subgraphs(4),
+		ebv.OnProgress(func(ev ebv.PipelineProgress) {
+			if ev.Stage == ebv.StageRun {
+				sawRun = true
+			}
+		}),
+	)
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(ctx, &ebv.CC{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline ignored cancellation mid-partition")
+	}
+	if sawRun {
+		t.Fatal("pipeline reached StageRun after a mid-partition cancellation")
+	}
+}
+
+// neverHalt is a program that stays active forever, for mid-superstep
+// cancellation tests.
+type neverHalt struct{}
+
+func (*neverHalt) Name() string { return "never-halt" }
+func (*neverHalt) NewWorker(sub *ebv.Subgraph) ebv.WorkerProgram {
+	return neverHaltWorker{n: sub.NumLocalVertices()}
+}
+
+type neverHaltWorker struct{ n int }
+
+func (w neverHaltWorker) Superstep(step int, in []transport.Message) ([][]transport.Message, bool) {
+	return nil, true
+}
+func (w neverHaltWorker) Values() []float64 { return make([]float64, w.n) }
+
+// TestPipelineCancelMidRun cancels while the BSP stage is spinning on a
+// program that never quiesces.
+func TestPipelineCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := ebv.NewPipeline(
+		ebv.FromGraph(pipelineGraph(t)),
+		ebv.Subgraphs(4),
+		ebv.WithRun(ebv.WithMaxSteps(1<<30)),
+		ebv.OnProgress(func(ev ebv.PipelineProgress) {
+			if ev.Stage == ebv.StageRun && !ev.Done {
+				// Cancel once the run stage has started.
+				go func() {
+					time.Sleep(20 * time.Millisecond)
+					cancel()
+				}()
+			}
+		}),
+	)
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(ctx, &neverHalt{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline ignored cancellation mid-superstep")
+	}
+}
+
+// TestPipelinePrecomputedAssignment skips StagePartition when an
+// assignment is supplied, and the result flags it.
+func TestPipelinePrecomputedAssignment(t *testing.T) {
+	g := pipelineGraph(t)
+	a, err := ebv.NewEBV().Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stages []ebv.PipelineStage
+	res, err := ebv.NewPipeline(
+		ebv.FromGraph(g),
+		ebv.UseAssignment(a),
+		ebv.OnProgress(func(ev ebv.PipelineProgress) {
+			if ev.Done {
+				stages = append(stages, ev.Stage)
+			}
+		}),
+	).Run(context.Background(), &ebv.CC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionerName != "precomputed" {
+		t.Fatalf("PartitionerName = %q, want precomputed", res.PartitionerName)
+	}
+	if res.Assignment.K != 3 || len(res.Subgraphs) != 3 {
+		t.Fatalf("expected 3 subgraphs, got K=%d len=%d", res.Assignment.K, len(res.Subgraphs))
+	}
+	for _, s := range stages {
+		if s == ebv.StagePartition {
+			t.Fatal("StagePartition ran despite a precomputed assignment")
+		}
+	}
+}
+
+// TestPipelineNoSource: a pipeline without an input option fails with a
+// diagnostic rather than a nil-pointer panic.
+func TestPipelineNoSource(t *testing.T) {
+	if _, err := ebv.NewPipeline().Run(context.Background(), &ebv.CC{}); err == nil {
+		t.Fatal("expected an error for a pipeline without a source")
+	}
+}
+
+// TestPipelineTCPLoopback runs the full chain over the real TCP mesh.
+func TestPipelineTCPLoopback(t *testing.T) {
+	res, err := ebv.NewPipeline(
+		ebv.FromGraph(pipelineGraph(t)),
+		ebv.Subgraphs(3),
+		ebv.UseTCPLoopback(),
+	).Run(context.Background(), &ebv.CC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ebv.SequentialCC(res.Graph)
+	for v, got := range res.BSP.Values {
+		if got != want[v] {
+			t.Fatalf("vertex %d over TCP: got %g, want %g", v, got, want[v])
+		}
+	}
+}
