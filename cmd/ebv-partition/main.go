@@ -48,10 +48,11 @@ func run(ctx context.Context) error {
 		beta       = flag.Float64("beta", 1, "EBV vertex-balance weight β")
 		outPath    = flag.String("assignment", "", "write per-edge part ids to this path")
 		subDir     = flag.String("subgraph-dir", "", "write per-worker subgraph shards here (for ebv-worker)")
+		par        = flag.Int("parallelism", 0, "CPUs for the load and subgraph-build stages (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *in == "" {
-		return fmt.Errorf("missing -in (graph path)")
+		return errors.New("missing -in (graph path)")
 	}
 
 	var p ebv.Partitioner
@@ -69,6 +70,7 @@ func run(ctx context.Context) error {
 		ebv.FromEdgeList(*in),
 		ebv.UsePartitioner(p),
 		ebv.Subgraphs(*parts),
+		ebv.Parallelism(*par),
 	}
 	if *undirected {
 		opts = append(opts, ebv.Undirected())

@@ -51,10 +51,11 @@ func run(ctx context.Context) error {
 		transport  = flag.String("transport", "mem", "transport: mem | tcp")
 		assignPath = flag.String("assignment", "", "load a precomputed assignment (skips partitioning)")
 		progress   = flag.Bool("progress", false, "print pipeline stage progress to stderr")
+		par        = flag.Int("parallelism", 0, "CPUs for the load and subgraph-build stages (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *in == "" {
-		return fmt.Errorf("missing -in (graph path)")
+		return errors.New("missing -in (graph path)")
 	}
 
 	p, err := ebv.PartitionerByName(*algo)
@@ -77,6 +78,7 @@ func run(ctx context.Context) error {
 		ebv.FromEdgeList(*in),
 		ebv.UsePartitioner(p),
 		ebv.Subgraphs(*parts),
+		ebv.Parallelism(*par),
 	}
 	if *undirected {
 		opts = append(opts, ebv.Undirected())
@@ -93,10 +95,16 @@ func run(ctx context.Context) error {
 	}
 	if *progress {
 		opts = append(opts, ebv.OnProgress(func(ev ebv.PipelineProgress) {
-			if ev.Done {
-				fmt.Fprintf(os.Stderr, "[%s] done in %v (%s)\n",
-					ev.Stage, ev.Elapsed.Round(time.Millisecond), ev.Detail)
+			if !ev.Done {
+				return
 			}
+			if ev.Throughput > 0 {
+				fmt.Fprintf(os.Stderr, "[%s] done in %v (%s, %.3g edges/s)\n",
+					ev.Stage, ev.Elapsed.Round(time.Millisecond), ev.Detail, ev.Throughput)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%s] done in %v (%s)\n",
+				ev.Stage, ev.Elapsed.Round(time.Millisecond), ev.Detail)
 		}))
 	}
 

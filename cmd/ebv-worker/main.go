@@ -60,7 +60,7 @@ func run(ctx context.Context) error {
 	)
 	flag.Parse()
 	if *subPath == "" || *worker < 0 || *peers == "" {
-		return fmt.Errorf("need -subgraph, -worker and -peers")
+		return errors.New("need -subgraph, -worker and -peers")
 	}
 	addrs := strings.Split(*peers, ",")
 	for i := range addrs {

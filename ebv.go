@@ -77,16 +77,19 @@ var (
 	NewGraph           = graph.New
 	NewUndirectedGraph = graph.NewUndirected
 	ReadEdgeList       = graph.ReadEdgeList
-	WriteEdgeList      = graph.WriteEdgeList
-	ReadBinaryGraph    = graph.ReadBinary
-	WriteBinaryGraph   = graph.WriteBinary
-	ComputeGraphStats  = graph.ComputeStats
-	ReverseGraph       = graph.Reverse
-	SimplifyGraph      = graph.Simplify
-	InducedSubgraph    = graph.InducedSubgraph
-	LargestComponent   = graph.LargestComponent
-	UniformWeights     = graph.UniformWeights
-	HashWeights        = graph.HashWeights
+	// ReadEdgeListParallel is ReadEdgeList with an explicit parallelism
+	// degree for the chunked parser (<= 0 selects GOMAXPROCS).
+	ReadEdgeListParallel = graph.ReadEdgeListParallel
+	WriteEdgeList        = graph.WriteEdgeList
+	ReadBinaryGraph      = graph.ReadBinary
+	WriteBinaryGraph     = graph.WriteBinary
+	ComputeGraphStats    = graph.ComputeStats
+	ReverseGraph         = graph.Reverse
+	SimplifyGraph        = graph.Simplify
+	InducedSubgraph      = graph.InducedSubgraph
+	LargestComponent     = graph.LargestComponent
+	UniformWeights       = graph.UniformWeights
+	HashWeights          = graph.HashWeights
 )
 
 // Generators.
@@ -222,17 +225,22 @@ type (
 var (
 	BuildSubgraphs         = bsp.BuildSubgraphs
 	BuildSubgraphsWeighted = bsp.BuildSubgraphsWeighted
-	WriteSubgraph          = bsp.WriteSubgraph
-	ReadSubgraph           = bsp.ReadSubgraph
-	RunBSP                 = bsp.Run
-	RunBSPCtx              = bsp.RunCtx
-	RunBSPWorker           = bsp.RunWorker
-	RunBSPWorkerCtx        = bsp.RunWorkerCtx
-	NewMemTransport        = transport.NewMem
-	NewTCPMesh             = transport.NewTCPMesh
-	NewTCPMeshCtx          = transport.NewTCPMeshCtx
-	NewTCPWorker           = transport.NewTCPWorker
-	NewTCPWorkerCtx        = transport.NewTCPWorkerCtx
+	// BuildSubgraphsParallel / BuildSubgraphsWeightedParallel take an
+	// explicit parallelism degree for the per-part build passes (<= 0
+	// selects GOMAXPROCS; the plain forms use GOMAXPROCS).
+	BuildSubgraphsParallel         = bsp.BuildSubgraphsParallel
+	BuildSubgraphsWeightedParallel = bsp.BuildSubgraphsWeightedParallel
+	WriteSubgraph                  = bsp.WriteSubgraph
+	ReadSubgraph                   = bsp.ReadSubgraph
+	RunBSP                         = bsp.Run
+	RunBSPCtx                      = bsp.RunCtx
+	RunBSPWorker                   = bsp.RunWorker
+	RunBSPWorkerCtx                = bsp.RunWorkerCtx
+	NewMemTransport                = transport.NewMem
+	NewTCPMesh                     = transport.NewTCPMesh
+	NewTCPMeshCtx                  = transport.NewTCPMeshCtx
+	NewTCPWorker                   = transport.NewTCPWorker
+	NewTCPWorkerCtx                = transport.NewTCPWorkerCtx
 	// NewRunConfig builds a RunConfig from functional options
 	// (WithMaxSteps, WithTransports, WithReplicaVerification); the
 	// struct-literal form keeps working.
@@ -318,5 +326,6 @@ var (
 	WithPageRankIters     = harness.WithPageRankIters
 	WithExtended          = harness.WithExtended
 	WithRepeat            = harness.WithRepeat
+	WithParallelism       = harness.WithParallelism
 	WithExperimentContext = harness.WithContext
 )

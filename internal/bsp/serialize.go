@@ -13,8 +13,8 @@ import (
 // worker (cmd/ebv-partition -subgraph-dir); each ebv-worker process loads
 // only its own file, so no process ever holds the whole graph.
 
-// subgraphWire is the gob-encoded form of a Subgraph (the localOf index is
-// rebuilt on load instead of shipped).
+// subgraphWire is the gob-encoded form of a Subgraph (the CSR views and
+// the dense local index are rebuilt on load instead of shipped).
 type subgraphWire struct {
 	Part              int
 	NumWorkers        int
@@ -47,8 +47,11 @@ func WriteSubgraph(w io.Writer, sub *Subgraph) error {
 	return nil
 }
 
-// ReadSubgraph deserializes a subgraph written by WriteSubgraph and
-// rebuilds its derived structures (local index, CSR views).
+// ReadSubgraph deserializes a subgraph written by WriteSubgraph, validates
+// its structural invariants (per-vertex and per-edge slice lengths,
+// ascending GlobalIDs, edge endpoints in local range) and rebuilds the CSR
+// views. A corrupt or truncated shard fails here rather than panicking
+// mid-superstep.
 func ReadSubgraph(r io.Reader) (*Subgraph, error) {
 	dec := gob.NewDecoder(r)
 	var wire subgraphWire
@@ -65,16 +68,56 @@ func ReadSubgraph(r io.Reader) (*Subgraph, error) {
 		GlobalOutDegree:   wire.GlobalOutDegree,
 		GlobalInDegree:    wire.GlobalInDegree,
 		Weights:           wire.Weights,
-		localOf:           make(map[graph.VertexID]int32, len(wire.GlobalIDs)),
 	}
-	for local, gid := range sub.GlobalIDs {
-		sub.localOf[gid] = int32(local)
-	}
+	// Every per-vertex slice must cover the vertex set and every per-edge
+	// slice the edge set, or programs index out of range at run time.
 	if len(sub.ReplicaPeers) != len(sub.GlobalIDs) ||
-		len(sub.GlobalOutDegree) != len(sub.GlobalIDs) {
-		return nil, fmt.Errorf("bsp: corrupt subgraph: %d ids, %d peers, %d degrees",
-			len(sub.GlobalIDs), len(sub.ReplicaPeers), len(sub.GlobalOutDegree))
+		len(sub.GlobalOutDegree) != len(sub.GlobalIDs) ||
+		len(sub.GlobalInDegree) != len(sub.GlobalIDs) {
+		return nil, fmt.Errorf("bsp: corrupt subgraph: %d ids, %d peers, %d out-degrees, %d in-degrees",
+			len(sub.GlobalIDs), len(sub.ReplicaPeers),
+			len(sub.GlobalOutDegree), len(sub.GlobalInDegree))
 	}
+	if sub.Weights != nil && len(sub.Weights) != len(sub.Edges) {
+		return nil, fmt.Errorf("bsp: corrupt subgraph: %d weights for %d edges",
+			len(sub.Weights), len(sub.Edges))
+	}
+	// Strictly ascending GlobalIDs inside [0, NumGlobalVertices) is a
+	// structural invariant of the build; the dense local index rebuilt
+	// below allocates up to NumGlobalVertices entries, so bound it like
+	// the graph loaders bound their vertex count (a corrupt header must
+	// not force a giant allocation).
+	const maxWireVertices = 1 << 28
+	if sub.NumGlobalVertices < 0 || sub.NumGlobalVertices > maxWireVertices {
+		return nil, fmt.Errorf("bsp: corrupt subgraph: global vertex count %d", sub.NumGlobalVertices)
+	}
+	for i, gid := range sub.GlobalIDs {
+		if i > 0 && gid <= sub.GlobalIDs[i-1] {
+			return nil, fmt.Errorf("bsp: corrupt subgraph: global ids not strictly ascending at %d", i)
+		}
+		if int(gid) >= sub.NumGlobalVertices {
+			return nil, fmt.Errorf("bsp: corrupt subgraph: global id %d outside %d vertices",
+				gid, sub.NumGlobalVertices)
+		}
+	}
+	// Replica routing: programs size their outboxes by NumWorkers and
+	// index them by peer id, so an out-of-range peer panics a superstep.
+	if sub.NumWorkers < 1 || sub.Part < 0 || sub.Part >= sub.NumWorkers {
+		return nil, fmt.Errorf("bsp: corrupt subgraph: part %d of %d workers",
+			sub.Part, sub.NumWorkers)
+	}
+	for local, peers := range sub.ReplicaPeers {
+		for j, q := range peers {
+			if q < 0 || int(q) >= sub.NumWorkers || int(q) == sub.Part {
+				return nil, fmt.Errorf("bsp: corrupt subgraph: vertex %d peer %d invalid for part %d of %d workers",
+					local, q, sub.Part, sub.NumWorkers)
+			}
+			if j > 0 && q <= peers[j-1] {
+				return nil, fmt.Errorf("bsp: corrupt subgraph: vertex %d peers not strictly ascending", local)
+			}
+		}
+	}
+	sub.buildLocalIndex()
 	lg, err := graph.New(sub.NumLocalVertices(), sub.Edges)
 	if err != nil {
 		return nil, fmt.Errorf("bsp: rebuild local graph: %w", err)

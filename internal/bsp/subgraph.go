@@ -13,7 +13,11 @@ package bsp
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"ebv/internal/graph"
 	"ebv/internal/partition"
@@ -29,9 +33,11 @@ type Subgraph struct {
 	NumWorkers int
 	// NumGlobalVertices is |V| of the whole graph.
 	NumGlobalVertices int
-	// GlobalIDs maps local vertex ids to global ones (ascending).
+	// GlobalIDs maps local vertex ids to global ones, strictly ascending
+	// (a structural invariant ReadSubgraph validates).
 	GlobalIDs []graph.VertexID
-	// Edges are the local edges with endpoints in LOCAL id space.
+	// Edges are the local edges with endpoints in LOCAL id space, ordered
+	// by their index in the originating graph's edge list.
 	Edges []graph.Edge
 	// Out and In are local CSR adjacency views over Edges.
 	Out *graph.CSR
@@ -49,7 +55,33 @@ type Subgraph struct {
 	// unit weights (set by BuildSubgraphsWeighted).
 	Weights []float64
 
-	localOf map[graph.VertexID]int32
+	// localOf is the dense global→local inverse index (-1 = not covered
+	// here), giving LocalOf one O(1) array probe on the per-message hot
+	// path. buildLocalIndex attaches it only when the part covers enough
+	// of the id space to pay for it (nil = binary-search fallback); it is
+	// rebuilt by ReadSubgraph rather than shipped.
+	localOf []int32
+}
+
+// localIndexMaxDilution bounds the dense index's memory: the index costs
+// 4·|V| bytes per part, so it is attached only while that stays under
+// ~64 bytes per covered vertex (about the seed's per-hash-map-entry
+// overhead), i.e. |V| <= 16·|Vi|. Typical paper configurations (k <= 32,
+// replication >= 1) are comfortably dense; only very sparse parts of a
+// large-k partition fall back to binary search, keeping aggregate build
+// memory O(Σ|Vi|) instead of O(k·|V|).
+const localIndexMaxDilution = 16
+
+// buildLocalIndex attaches the dense inverse index when the part is dense
+// enough for it (see localIndexMaxDilution). GlobalIDs must be final.
+func (s *Subgraph) buildLocalIndex() {
+	if int64(s.NumGlobalVertices) > localIndexMaxDilution*int64(len(s.GlobalIDs)) {
+		return // sparse part: LocalOf binary-searches GlobalIDs
+	}
+	s.localOf = newLocalIndex(s.NumGlobalVertices)
+	for local, gid := range s.GlobalIDs {
+		s.localOf[gid] = int32(local)
+	}
 }
 
 // NumLocalVertices returns |Vi|.
@@ -59,9 +91,25 @@ func (s *Subgraph) NumLocalVertices() int { return len(s.GlobalIDs) }
 func (s *Subgraph) NumLocalEdges() int { return len(s.Edges) }
 
 // LocalOf returns the local id of global vertex v, if v is covered here.
+// Message delivery calls this once per incoming message, so the common
+// (dense) case is a single array probe; sparse parts binary-search the
+// ascending GlobalIDs instead.
 func (s *Subgraph) LocalOf(v graph.VertexID) (int32, bool) {
-	l, ok := s.localOf[v]
-	return l, ok
+	if s.localOf != nil {
+		if int(v) >= len(s.localOf) {
+			return 0, false
+		}
+		l := s.localOf[v]
+		if l < 0 {
+			return 0, false
+		}
+		return l, true
+	}
+	i, ok := slices.BinarySearch(s.GlobalIDs, v)
+	if !ok {
+		return 0, false
+	}
+	return int32(i), true
 }
 
 // IsReplicated reports whether the local vertex also lives on other workers.
@@ -81,8 +129,45 @@ func (s *Subgraph) Master(local int32) int32 {
 }
 
 // BuildSubgraphs materializes the per-worker subgraphs of assignment a
-// over g, including the replica routing tables.
+// over g, including the replica routing tables, using all available CPUs.
 func BuildSubgraphs(g *graph.Graph, a *partition.Assignment) ([]*Subgraph, error) {
+	return buildSubgraphs(g, a, nil, 0)
+}
+
+// BuildSubgraphsParallel is BuildSubgraphs with an explicit parallelism
+// degree: parts are built concurrently by at most parallelism goroutines
+// (<= 0 selects GOMAXPROCS, 1 builds sequentially). The result is identical
+// to a sequential build — each part's vertex set is ascending and its edges
+// keep the originating graph's edge-list order.
+func BuildSubgraphsParallel(g *graph.Graph, a *partition.Assignment, parallelism int) ([]*Subgraph, error) {
+	return buildSubgraphs(g, a, nil, parallelism)
+}
+
+// BuildSubgraphsWeighted is BuildSubgraphs plus per-subgraph edge weights
+// carried over from the global weight vector (aligned with g's edge list).
+func BuildSubgraphsWeighted(g *graph.Graph, a *partition.Assignment,
+	weights graph.EdgeWeights) ([]*Subgraph, error) {
+	return buildSubgraphs(g, a, weights, 0)
+}
+
+// BuildSubgraphsWeightedParallel is BuildSubgraphsWeighted with an explicit
+// parallelism degree (<= 0 selects GOMAXPROCS).
+func BuildSubgraphsWeightedParallel(g *graph.Graph, a *partition.Assignment,
+	weights graph.EdgeWeights, parallelism int) ([]*Subgraph, error) {
+	return buildSubgraphs(g, a, weights, parallelism)
+}
+
+// buildSubgraphs is the shared build: one O(|E|) counting sort buckets the
+// edge indices by part, then two part-parallel passes run over each part's
+// own bucket. Pass 1 computes the part's covered vertex bitset; pass 2
+// materializes the subgraph — local id space, degrees, replica peers, the
+// edge list pre-sized from EdgeCounts and filled by offset, and the CSR
+// views. There are no per-part hash maps: each dense-enough part keeps a
+// []int32 inverse index over the global id space as Subgraph.localOf (the
+// run-time O(1) LocalOf table; see localIndexMaxDilution), and sparse
+// parts localize by binary search.
+func buildSubgraphs(g *graph.Graph, a *partition.Assignment,
+	weights graph.EdgeWeights, parallelism int) ([]*Subgraph, error) {
 	if len(a.Parts) != g.NumEdges() {
 		return nil, fmt.Errorf("bsp: assignment covers %d edges, graph has %d",
 			len(a.Parts), g.NumEdges())
@@ -90,14 +175,64 @@ func BuildSubgraphs(g *graph.Graph, a *partition.Assignment) ([]*Subgraph, error
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("bsp: %w", err)
 	}
+	if weights != nil && len(weights) != g.NumEdges() {
+		return nil, fmt.Errorf("bsp: %d weights for %d edges", len(weights), g.NumEdges())
+	}
+	// Edge indices travel as int32 here and in graph.CSR's edgeIndex; make
+	// the shared limit explicit instead of overflowing (ReadBinary admits
+	// up to 2^33 edges).
+	if int64(g.NumEdges()) > math.MaxInt32 {
+		return nil, fmt.Errorf("bsp: %d edges exceed the int32 edge-index limit", g.NumEdges())
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	k := a.K
-	replicas := partition.BuildReplicas(g, a)
+	if parallelism > k {
+		parallelism = k
+	}
+	edges := g.Edges()
+	parts := a.Parts
+	counts := a.EdgeCounts()
 
-	// Pass 1: covered vertex sets per part (sorted by construction).
-	vertexSets := a.VertexSets(g)
-	subs := make([]*Subgraph, k)
+	// Bucket the global edge indices by part with one O(|E|) counting
+	// sort, so every per-part pass below touches only its own edges
+	// (ascending global index order, which fixes the local edge order).
+	offsets := make([]int, k+1)
 	for p := 0; p < k; p++ {
-		count := vertexSets[p].Count()
+		offsets[p+1] = offsets[p] + counts[p]
+	}
+	order := make([]int32, len(parts))
+	cursor := make([]int, k)
+	copy(cursor, offsets[:k])
+	for i, p := range parts {
+		order[cursor[p]] = int32(i)
+		cursor[p]++
+	}
+	partEdges := func(p int) []int32 { return order[offsets[p]:offsets[p+1]] }
+
+	// Pass 1: per-part covered vertex bitsets, parts in parallel. The sets
+	// are shared with the replica table below, so the O(|E|) pass
+	// partition.BuildReplicas would spend recomputing them is saved.
+	sets := make([]partition.Bitset, k)
+	_ = runParts(parallelism, k, func(p int) error {
+		set := partition.NewBitset(g.NumVertices())
+		for _, idx := range partEdges(p) {
+			e := edges[idx]
+			set.Set(int(e.Src))
+			set.Set(int(e.Dst))
+		}
+		sets[p] = set
+		return nil
+	})
+
+	replicas := partition.BuildReplicasFromSets(g.NumVertices(), sets)
+
+	// Pass 2: materialize each subgraph, parts in parallel.
+	subs := make([]*Subgraph, k)
+	err := runParts(parallelism, k, func(p int) error {
+		set := sets[p]
+		count := set.Count()
 		sub := &Subgraph{
 			Part:              p,
 			NumWorkers:        k,
@@ -106,12 +241,10 @@ func BuildSubgraphs(g *graph.Graph, a *partition.Assignment) ([]*Subgraph, error
 			ReplicaPeers:      make([][]int32, count),
 			GlobalOutDegree:   make([]int32, count),
 			GlobalInDegree:    make([]int32, count),
-			localOf:           make(map[graph.VertexID]int32, count),
 		}
-		vertexSets[p].Range(func(v int) {
+		set.Range(func(v int) {
 			local := int32(len(sub.GlobalIDs))
 			sub.GlobalIDs = append(sub.GlobalIDs, graph.VertexID(v))
-			sub.localOf[graph.VertexID(v)] = local
 			sub.GlobalOutDegree[local] = int32(g.OutDegree(graph.VertexID(v)))
 			sub.GlobalInDegree[local] = int32(g.InDegree(graph.VertexID(v)))
 			all := replicas.Parts(graph.VertexID(v))
@@ -125,32 +258,83 @@ func BuildSubgraphs(g *graph.Graph, a *partition.Assignment) ([]*Subgraph, error
 				sub.ReplicaPeers[local] = peers
 			}
 		})
-		subs[p] = sub
-	}
+		sub.buildLocalIndex()
 
-	// Pass 2: local edge lists.
-	counts := a.EdgeCounts()
-	for p := 0; p < k; p++ {
-		subs[p].Edges = make([]graph.Edge, 0, counts[p])
-	}
-	for i, e := range g.Edges() {
-		p := a.Parts[i]
-		sub := subs[p]
-		ls := sub.localOf[e.Src]
-		ld := sub.localOf[e.Dst]
-		sub.Edges = append(sub.Edges, graph.Edge{Src: graph.VertexID(ls), Dst: graph.VertexID(ld)})
-	}
-
-	// Pass 3: local CSR views.
-	for p := 0; p < k; p++ {
-		lg, err := graph.New(subs[p].NumLocalVertices(), subs[p].Edges)
-		if err != nil {
-			return nil, fmt.Errorf("bsp: build local graph of part %d: %w", p, err)
+		// Local edge list: pre-sized from EdgeCounts, filled by offset in
+		// global edge order (deterministic within the part). Localization
+		// goes through LocalOf, so sparse parts work without the dense
+		// index; every endpoint is covered by construction.
+		sub.Edges = make([]graph.Edge, counts[p])
+		if weights != nil {
+			sub.Weights = make([]float64, counts[p])
 		}
-		subs[p].Out = graph.BuildCSR(lg)
-		subs[p].In = graph.BuildReverseCSR(lg)
+		for w, idx := range partEdges(p) {
+			e := edges[idx]
+			ls, _ := sub.LocalOf(e.Src)
+			ld, _ := sub.LocalOf(e.Dst)
+			sub.Edges[w] = graph.Edge{Src: graph.VertexID(ls), Dst: graph.VertexID(ld)}
+			if weights != nil {
+				sub.Weights[w] = weights[idx]
+			}
+		}
+		lg, err := graph.New(sub.NumLocalVertices(), sub.Edges)
+		if err != nil {
+			return fmt.Errorf("bsp: build local graph of part %d: %w", p, err)
+		}
+		sub.Out = graph.BuildCSR(lg)
+		sub.In = graph.BuildReverseCSR(lg)
+		subs[p] = sub
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return subs, nil
+}
+
+// newLocalIndex allocates a dense global→local index with every entry -1.
+func newLocalIndex(n int) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	return idx
+}
+
+// runParts invokes fn(p) for every part id in [0, k), fanning out over at
+// most workers goroutines. The lowest-part error is returned.
+func runParts(workers, k int, fn func(p int) error) error {
+	if workers <= 1 || k <= 1 {
+		for p := 0; p < k; p++ {
+			if err := fn(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, k)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= k {
+					return
+				}
+				errs[p] = fn(p)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // EdgeWeight returns the weight of the local edge with index i (1 when no
@@ -162,32 +346,9 @@ func (s *Subgraph) EdgeWeight(i int32) float64 {
 	return s.Weights[i]
 }
 
-// BuildSubgraphsWeighted is BuildSubgraphs plus per-subgraph edge weights
-// carried over from the global weight vector (aligned with g's edge list).
-func BuildSubgraphsWeighted(g *graph.Graph, a *partition.Assignment,
-	weights graph.EdgeWeights) ([]*Subgraph, error) {
-	if weights != nil && len(weights) != g.NumEdges() {
-		return nil, fmt.Errorf("bsp: %d weights for %d edges", len(weights), g.NumEdges())
-	}
-	subs, err := BuildSubgraphs(g, a)
-	if err != nil {
-		return nil, err
-	}
-	if weights == nil {
-		return subs, nil
-	}
-	for p := range subs {
-		subs[p].Weights = make([]float64, 0, len(subs[p].Edges))
-	}
-	for i := range g.Edges() {
-		p := a.Parts[i]
-		subs[p].Weights = append(subs[p].Weights, weights[i])
-	}
-	return subs, nil
-}
-
 // ReplicatedVertices returns the local ids of all replicated vertices in
 // ascending order (convenience for programs that iterate the boundary).
+// ReplicaPeers is indexed by local id, so the scan is already ordered.
 func (s *Subgraph) ReplicatedVertices() []int32 {
 	out := make([]int32, 0, len(s.GlobalIDs)/4)
 	for l := range s.ReplicaPeers {
@@ -195,6 +356,5 @@ func (s *Subgraph) ReplicatedVertices() []int32 {
 			out = append(out, int32(l))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -1,0 +1,88 @@
+package bsp
+
+import (
+	"bytes"
+	"testing"
+
+	"ebv/internal/graph"
+	"ebv/internal/partition"
+)
+
+// TestLocalIndexDensityThreshold exercises both sides of the
+// localIndexMaxDilution gate: a part covering a sliver of a large id space
+// must not allocate the dense index (memory stays O(|Vi|)) yet still
+// answer LocalOf correctly, while a dense part gets the O(1) table. The
+// choice must survive a serialization round trip.
+func TestLocalIndexDensityThreshold(t *testing.T) {
+	const n = 100000
+	g, err := graph.New(n, []graph.Edge{
+		{Src: 5, Dst: 99999},
+		{Src: 70000, Dst: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &partition.Assignment{K: 2, Parts: []int32{0, 1}}
+	subs, err := BuildSubgraphs(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := subs[0] // covers {5, 99999} of 100000 ids
+	if sparse.localOf != nil {
+		t.Fatalf("sparse part allocated a %d-entry dense index for %d vertices",
+			len(sparse.localOf), sparse.NumLocalVertices())
+	}
+	assertLocalOf := func(sub *Subgraph) {
+		t.Helper()
+		for local, gid := range sub.GlobalIDs {
+			l, ok := sub.LocalOf(gid)
+			if !ok || int(l) != local {
+				t.Fatalf("LocalOf(%d) = %d,%t, want %d,true", gid, l, ok, local)
+			}
+		}
+		if _, ok := sub.LocalOf(12345); ok {
+			t.Fatal("LocalOf found an uncovered vertex")
+		}
+		if _, ok := sub.LocalOf(n + 10); ok {
+			t.Fatal("LocalOf found an out-of-range vertex")
+		}
+	}
+	assertLocalOf(sparse)
+	if got := sparse.Edges[0]; got != (graph.Edge{Src: 0, Dst: 1}) {
+		t.Fatalf("sparse localization produced %v", got)
+	}
+
+	dense, err := BuildSubgraphs(mustDenseGraph(t), &partition.Assignment{
+		K: 1, Parts: make([]int32, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense[0].localOf == nil {
+		t.Fatal("dense part skipped the O(1) index")
+	}
+	assertLocalOf(dense[0])
+
+	// Round trip keeps the gate decision and the semantics.
+	var buf bytes.Buffer
+	if err := WriteSubgraph(&buf, sparse); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSubgraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.localOf != nil {
+		t.Fatal("round trip materialized a dense index for a sparse part")
+	}
+	assertLocalOf(got)
+}
+
+func mustDenseGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.New(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

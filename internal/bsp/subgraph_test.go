@@ -1,0 +1,225 @@
+package bsp_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"ebv/internal/bsp"
+	"ebv/internal/core"
+	"ebv/internal/graph"
+)
+
+// TestBuildSubgraphsParallelDeterministic asserts the parallel build is
+// byte-identical to the sequential one (parallelism 1) for every part —
+// ids, degrees, replica tables, CSR views, and the edge order within each
+// part (the originating graph's edge-list order).
+func TestBuildSubgraphsParallelDeterministic(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			a, err := core.New().Partition(g, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := bsp.BuildSubgraphsParallel(g, a, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{2, 4, 16} {
+				got, err := bsp.BuildSubgraphsParallel(g, a, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(seq) {
+					t.Fatalf("parallelism %d: %d parts, want %d", par, len(got), len(seq))
+				}
+				for p := range seq {
+					if !reflect.DeepEqual(seq[p], got[p]) {
+						t.Fatalf("parallelism %d: part %d differs from sequential build", par, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildSubgraphsEdgeOrder pins the determinism contract directly: each
+// part's local edges appear in ascending order of their global edge index.
+func TestBuildSubgraphsEdgeOrder(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	a, err := core.New().Partition(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := bsp.BuildSubgraphs(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cursors := make([]int, len(subs))
+	for i, e := range g.Edges() {
+		sub := subs[a.Parts[i]]
+		c := cursors[a.Parts[i]]
+		if c >= len(sub.Edges) {
+			t.Fatalf("part %d has %d edges, expected more", sub.Part, len(sub.Edges))
+		}
+		ls, okS := sub.LocalOf(e.Src)
+		ld, okD := sub.LocalOf(e.Dst)
+		if !okS || !okD {
+			t.Fatalf("edge %d endpoints not covered by part %d", i, sub.Part)
+		}
+		if got := sub.Edges[c]; got.Src != graph.VertexID(ls) || got.Dst != graph.VertexID(ld) {
+			t.Fatalf("part %d slot %d = %v, want localized edge %d (%d,%d)",
+				sub.Part, c, got, i, ls, ld)
+		}
+		cursors[a.Parts[i]]++
+	}
+	for p, c := range cursors {
+		if c != len(subs[p].Edges) {
+			t.Fatalf("part %d: consumed %d of %d edges", p, c, len(subs[p].Edges))
+		}
+	}
+}
+
+// TestBuildSubgraphsWeightedParallelDeterministic covers the weighted
+// variant: weights stay aligned with the part-local edge order under any
+// parallelism.
+func TestBuildSubgraphsWeightedParallelDeterministic(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	a, err := core.New().Partition(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make(graph.EdgeWeights, g.NumEdges())
+	for i := range weights {
+		weights[i] = float64(i%97) + 1
+	}
+	seq, err := bsp.BuildSubgraphsWeightedParallel(g, a, weights, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bsp.BuildSubgraphsWeightedParallel(g, a, weights, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range seq {
+		if !reflect.DeepEqual(seq[p], got[p]) {
+			t.Fatalf("part %d differs from sequential weighted build", p)
+		}
+	}
+}
+
+// TestReplicatedVerticesSorted asserts the boundary list is ascending by
+// construction (no sort pass) and consistent with IsReplicated.
+func TestReplicatedVerticesSorted(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	subs := buildSubs(t, g, core.New(), 4)
+	sawReplicated := false
+	for _, sub := range subs {
+		reps := sub.ReplicatedVertices()
+		if len(reps) > 0 {
+			sawReplicated = true
+		}
+		if !sort.SliceIsSorted(reps, func(i, j int) bool { return reps[i] < reps[j] }) {
+			t.Fatalf("part %d: ReplicatedVertices not ascending: %v", sub.Part, reps)
+		}
+		want := 0
+		for local := range sub.ReplicaPeers {
+			if sub.IsReplicated(int32(local)) {
+				want++
+			}
+		}
+		if len(reps) != want {
+			t.Fatalf("part %d: %d replicated vertices, want %d", sub.Part, len(reps), want)
+		}
+	}
+	if !sawReplicated {
+		t.Fatal("test graph produced no replicated vertices; pick a denser graph")
+	}
+}
+
+// wireSubgraph mirrors the unexported gob wire form of a Subgraph so tests
+// can craft corrupt shard files field by field (gob matches struct fields
+// by name, not by type name).
+type wireSubgraph struct {
+	Part              int
+	NumWorkers        int
+	NumGlobalVertices int
+	GlobalIDs         []graph.VertexID
+	Edges             []graph.Edge
+	ReplicaPeers      [][]int32
+	GlobalOutDegree   []int32
+	GlobalInDegree    []int32
+	Weights           []float64
+}
+
+func validWire() wireSubgraph {
+	return wireSubgraph{
+		Part:              0,
+		NumWorkers:        2,
+		NumGlobalVertices: 4,
+		GlobalIDs:         []graph.VertexID{0, 1, 3},
+		Edges:             []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}},
+		ReplicaPeers:      [][]int32{{1}, nil, nil},
+		GlobalOutDegree:   []int32{1, 1, 0},
+		GlobalInDegree:    []int32{0, 1, 1},
+		Weights:           nil,
+	}
+}
+
+func decodeWire(t *testing.T, w wireSubgraph) (*bsp.Subgraph, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		t.Fatal(err)
+	}
+	return bsp.ReadSubgraph(&buf)
+}
+
+// TestReadSubgraphValidatesLengths is the regression test for the missing
+// GlobalInDegree/Weights length checks: a truncated per-vertex or per-edge
+// slice must fail ReadSubgraph with a corruption error, not panic later at
+// run time with index out of range.
+func TestReadSubgraphValidatesLengths(t *testing.T) {
+	if _, err := decodeWire(t, validWire()); err != nil {
+		t.Fatalf("valid wire rejected: %v", err)
+	}
+
+	corruptions := map[string]func(*wireSubgraph){
+		"short-replica-peers":    func(w *wireSubgraph) { w.ReplicaPeers = w.ReplicaPeers[:1] },
+		"short-out-degree":       func(w *wireSubgraph) { w.GlobalOutDegree = w.GlobalOutDegree[:2] },
+		"short-in-degree":        func(w *wireSubgraph) { w.GlobalInDegree = w.GlobalInDegree[:1] },
+		"missing-in-degree":      func(w *wireSubgraph) { w.GlobalInDegree = nil },
+		"short-weights":          func(w *wireSubgraph) { w.Weights = []float64{1} },
+		"unsorted-global-ids":    func(w *wireSubgraph) { w.GlobalIDs = []graph.VertexID{0, 3, 1} },
+		"duplicate-global-ids":   func(w *wireSubgraph) { w.GlobalIDs = []graph.VertexID{0, 1, 1} },
+		"edge-out-of-localrange": func(w *wireSubgraph) { w.Edges = []graph.Edge{{Src: 0, Dst: 9}} },
+		"gid-beyond-numglobal":   func(w *wireSubgraph) { w.GlobalIDs = []graph.VertexID{0, 1, 9} },
+		"negative-numglobal":     func(w *wireSubgraph) { w.NumGlobalVertices = -1 },
+		"huge-numglobal":         func(w *wireSubgraph) { w.NumGlobalVertices = 1 << 40 },
+		"zero-workers":           func(w *wireSubgraph) { w.NumWorkers = 0 },
+		"part-beyond-workers":    func(w *wireSubgraph) { w.Part = 7 },
+		"peer-beyond-workers":    func(w *wireSubgraph) { w.ReplicaPeers = [][]int32{{5}, nil, nil} },
+		"peer-negative":          func(w *wireSubgraph) { w.ReplicaPeers = [][]int32{{-1}, nil, nil} },
+		"peer-is-self":           func(w *wireSubgraph) { w.ReplicaPeers = [][]int32{{0}, nil, nil} },
+		"peers-not-ascending": func(w *wireSubgraph) {
+			w.NumWorkers = 4
+			w.ReplicaPeers = [][]int32{{2, 1}, nil, nil}
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			w := validWire()
+			corrupt(&w)
+			sub, err := decodeWire(t, w)
+			if err == nil {
+				t.Fatalf("corrupt shard accepted: %+v", sub)
+			}
+			if !strings.Contains(err.Error(), "bsp:") {
+				t.Fatalf("unexpected error shape: %v", err)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@
 package gen
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -25,7 +26,7 @@ type aliasTable struct {
 func newAliasTable(weights []float64) (*aliasTable, error) {
 	n := len(weights)
 	if n == 0 {
-		return nil, fmt.Errorf("gen: alias table over empty weights")
+		return nil, errors.New("gen: alias table over empty weights")
 	}
 	var total float64
 	for i, w := range weights {

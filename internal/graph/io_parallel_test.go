@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// chunkedCases are crafted edge lists covering the parser's corner cases:
+// comments, blank lines, CRLF endings, tabs, extra fields, no trailing
+// newline, self-loops, and inputs that must be rejected.
+var chunkedCases = []struct {
+	name  string
+	input string
+}{
+	{"empty", ""},
+	{"single", "0 1\n"},
+	{"comments", "# header\n% other\n0 1\n\n2 3\n"},
+	{"crlf", "0 1\r\n1 2\r\n"},
+	{"tabs", "0\t1\n1\t\t2\n"},
+	{"extra-fields", "0 1 17 whatever\n2 3 x\n"},
+	{"no-trailing-newline", "0 1\n1 2"},
+	{"self-loops", "0 0\n1 1\n0 1\n"},
+	{"leading-space", "  0 1\n\t2 3\n"},
+	{"padded-comment", "   # note\n0 1\n"},
+	{"err-one-field", "0 1\n7\n"},
+	{"err-bad-src", "0 1\nx 2\n"},
+	{"err-bad-dst", "0 1\n2 y\n"},
+	{"err-overflow", "0 1\n0 4294967296\n"},
+	{"err-cap", "0 1\n0 268435457\n"},
+	{"err-late", strings.Repeat("0 1\n", 100) + "boom\n"},
+}
+
+// TestReadEdgeListChunkedMatchesSequential forces tiny chunks so every
+// crafted input spans several parse units, and asserts the parallel result
+// (graph or error, including the reported line number) is identical to a
+// one-chunk sequential parse.
+func TestReadEdgeListChunkedMatchesSequential(t *testing.T) {
+	for _, tc := range chunkedCases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := []byte(tc.input)
+			want, wantErr := readEdgeListChunked(data, false, 1, len(data)+1)
+			for _, chunkSize := range []int{1, 3, 7} {
+				got, gotErr := readEdgeListChunked(data, false, 4, chunkSize)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("chunk %d: err = %v, sequential err = %v", chunkSize, gotErr, wantErr)
+				}
+				if wantErr != nil {
+					if gotErr.Error() != wantErr.Error() {
+						t.Fatalf("chunk %d: err %q, sequential err %q", chunkSize, gotErr, wantErr)
+					}
+					continue
+				}
+				assertSameGraph(t, want, got)
+			}
+		})
+	}
+}
+
+// TestReadEdgeListParallelLargeInput checks a multi-chunk input at the real
+// chunk size against the sequential parse, byte-identical edge order
+// included.
+func TestReadEdgeListParallelLargeInput(t *testing.T) {
+	var sb strings.Builder
+	state := uint64(42)
+	for i := 0; i < 50000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		fmt.Fprintf(&sb, "%d %d\n", state%10000, (state>>32)%10000)
+	}
+	data := []byte(sb.String())
+	want, err := readEdgeListChunked(data, false, 1, len(data)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readEdgeListChunked(data, false, 8, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, want, got)
+
+	// The exported entry point agrees too.
+	got2, err := ReadEdgeListParallel(bytes.NewReader(data), false, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, want, got2)
+}
+
+// TestReadEdgeListLineCap checks the per-line length bound: a newline-free
+// blob (e.g. a binary file fed to the text loader) must fail fast instead
+// of being buffered whole, identically at any parallelism.
+func TestReadEdgeListLineCap(t *testing.T) {
+	atCap := "0 " + strings.Repeat("1", maxEdgeListLine-2) // exactly maxEdgeListLine bytes
+	overCap := atCap + "1"
+	for _, par := range []int{1, 4} {
+		if _, err := ReadEdgeListParallel(strings.NewReader("0 1\n"+overCap), false, par); err == nil {
+			t.Fatalf("parallelism %d: over-cap line accepted", par)
+		} else if !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("parallelism %d: err %q, want line 2", par, err)
+		}
+		// At the cap the line parses (and is rejected only for its value).
+		if _, err := ReadEdgeListParallel(strings.NewReader(atCap+"\n"), false, par); err == nil ||
+			strings.Contains(err.Error(), "exceeds") {
+			t.Fatalf("parallelism %d: at-cap line hit the length cap: %v", par, err)
+		}
+	}
+	// Tiny windows must agree too (the grow path enforces the same cap).
+	if _, err := readEdgeListChunked([]byte(overCap), false, 4, 7); err == nil ||
+		!strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("tiny-window over-cap: %v", err)
+	}
+}
+
+// TestReadEdgeListErrorLineNumbers pins the global line number reported
+// for an error that sits far from the failing chunk's start.
+func TestReadEdgeListErrorLineNumbers(t *testing.T) {
+	input := "# header\n0 1\n\n1 2\nbad line\n"
+	for _, chunkSize := range []int{1, 5, len(input) + 1} {
+		_, err := readEdgeListChunked([]byte(input), false, 4, chunkSize)
+		if err == nil {
+			t.Fatalf("chunk %d: malformed input accepted", chunkSize)
+		}
+		if !strings.Contains(err.Error(), "line 5") {
+			t.Fatalf("chunk %d: err %q, want line 5", chunkSize, err)
+		}
+	}
+}

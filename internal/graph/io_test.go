@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -80,6 +81,73 @@ func TestTextRoundTripUndirected(t *testing.T) {
 	}
 }
 
+func TestTextRoundTripUndirectedSelfLoops(t *testing.T) {
+	// Self-loops are stored once (not mirrored) and written once; the
+	// round trip must preserve both the edge multiset and its order.
+	g, err := NewUndirected(4, []Edge{{0, 0}, {1, 2}, {3, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, err := ReadEdgeList(&buf, true)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if !g2.Undirected() {
+		t.Error("undirected flag lost")
+	}
+	assertSameGraph(t, g, g2)
+}
+
+// failAfterWriter fails every Write once n bytes have been accepted.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, errors.New("disk full")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteEdgeListPropagatesWriteError(t *testing.T) {
+	// Enough edges to overflow WriteEdgeList's buffer several times, so
+	// the underlying writer's failure must surface from an edge write —
+	// not only from the final Flush.
+	edges := make([]Edge, 20000)
+	for i := range edges {
+		edges[i] = Edge{Src: VertexID(i), Dst: VertexID(i + 1)}
+	}
+	g := mustGraph(t, len(edges)+1, edges)
+	err := WriteEdgeList(&failAfterWriter{n: 1 << 16}, g)
+	if err == nil {
+		t.Fatal("WriteEdgeList swallowed the writer error")
+	}
+	if !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("error %v does not propagate the writer failure", err)
+	}
+}
+
+func TestWriteBinaryPropagatesWriteError(t *testing.T) {
+	edges := make([]Edge, 20000)
+	for i := range edges {
+		edges[i] = Edge{Src: VertexID(i), Dst: VertexID(i + 1)}
+	}
+	g := mustGraph(t, len(edges)+1, edges)
+	if err := WriteBinary(&failAfterWriter{n: 1 << 15}, g); err == nil {
+		t.Fatal("WriteBinary swallowed the writer error")
+	}
+	if err := WriteBinary(&failAfterWriter{n: 0}, g); err == nil {
+		t.Fatal("WriteBinary swallowed the header write error")
+	}
+}
+
 func TestBinaryRoundTrip(t *testing.T) {
 	g := mustGraph(t, 100, []Edge{{0, 99}, {50, 25}, {99, 0}})
 	var buf bytes.Buffer
@@ -109,6 +177,25 @@ func TestBinaryRoundTripUndirectedFlag(t *testing.T) {
 	if !g2.Undirected() {
 		t.Error("undirected flag lost in binary round trip")
 	}
+}
+
+func TestBinaryRoundTripUndirectedSelfLoops(t *testing.T) {
+	g, err := NewUndirected(4, []Edge{{0, 0}, {1, 2}, {3, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !g2.Undirected() {
+		t.Error("undirected flag lost")
+	}
+	assertSameGraph(t, g, g2)
 }
 
 func TestReadBinaryRejectsGarbage(t *testing.T) {

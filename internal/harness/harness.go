@@ -45,6 +45,9 @@ type Options struct {
 	// Repeat re-runs timing experiments (Table II) this many times and
 	// reports mean ± stddev (default 1).
 	Repeat int
+	// Parallelism bounds the CPUs used by the data-plane passes between
+	// partition and run (subgraph construction); <= 0 selects GOMAXPROCS.
+	Parallelism int
 
 	// ctx carries cancellation into the experiment internals; it is set by
 	// RunCtx/RunCSVCtx/WithContext and deliberately unexported so the
@@ -81,6 +84,10 @@ func WithExtended(on bool) Option { return func(o *Options) { o.Extended = on } 
 
 // WithRepeat re-runs timing experiments this many times.
 func WithRepeat(n int) Option { return func(o *Options) { o.Repeat = n } }
+
+// WithParallelism bounds the CPUs used by the data-plane passes (subgraph
+// construction); <= 0 selects GOMAXPROCS.
+func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
 
 // WithContext attaches a cancellation context: long experiments poll it
 // between partition/run cells and abort with ctx.Err().

@@ -60,7 +60,7 @@ func runBSP(g *graph.Graph, p partition.Partitioner, k int, app App, opt Options
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s partition: %w", p.Name(), err)
 	}
-	subs, err := bsp.BuildSubgraphs(g, a)
+	subs, err := bsp.BuildSubgraphsParallel(g, a, opt.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s subgraphs: %w", p.Name(), err)
 	}

@@ -140,15 +140,20 @@ type Replicas struct {
 
 // BuildReplicas computes the replica table of assignment a over g.
 func BuildReplicas(g *graph.Graph, a *Assignment) *Replicas {
-	n := g.NumVertices()
-	sets := a.VertexSets(g)
+	return BuildReplicasFromSets(g.NumVertices(), a.VertexSets(g))
+}
+
+// BuildReplicasFromSets computes the replica table from precomputed
+// per-part vertex sets (as produced by Assignment.VertexSets), letting
+// callers that already materialized the sets skip the extra O(|E|) pass
+// BuildReplicas would spend recomputing them.
+func BuildReplicasFromSets(n int, sets []Bitset) *Replicas {
 	r := &Replicas{offsets: make([]int32, n+1)}
 	counts := make([]int32, n)
-	for p := range sets {
-		sets[p].Range(func(v int) {
+	for _, set := range sets {
+		set.Range(func(v int) {
 			counts[v]++
 		})
-		_ = p
 	}
 	for v := 0; v < n; v++ {
 		r.offsets[v+1] = r.offsets[v] + counts[v]

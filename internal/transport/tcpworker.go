@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -177,7 +178,7 @@ func dialWithRetry(ctx context.Context, addr string, deadline time.Time) (net.Co
 		}
 	}
 	if lastErr == nil {
-		lastErr = fmt.Errorf("deadline passed")
+		lastErr = errors.New("deadline passed")
 	}
 	return nil, lastErr
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -43,6 +44,12 @@ type PipelineProgress struct {
 	Elapsed time.Duration
 	// Detail is a human-readable note ("EBV into 16 subgraphs", "CC").
 	Detail string
+	// Items is the number of directed edges the stage processed (the
+	// loaded graph's edge count); 0 on start events and when unknown.
+	Items int64
+	// Throughput is Items per second of stage wall clock; 0 on start
+	// events and when unknown.
+	Throughput float64
 }
 
 // PipelineResult bundles everything a pipeline run produced. BSP is nil
@@ -97,6 +104,16 @@ type Pipeline struct {
 	runOpts     []RunOption
 	useTCP      bool
 	materialize bool
+	parallelism int
+}
+
+// par resolves the data-plane parallelism degree (GOMAXPROCS unless
+// Parallelism was given).
+func (p *Pipeline) par() int {
+	if p.parallelism > 0 {
+		return p.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // PipelineOption configures a Pipeline.
@@ -109,7 +126,8 @@ type RunOption = bsp.Option
 
 // NewPipeline builds a Pipeline. Defaults: no source (Run fails until a
 // From* option is given), the paper's EBV partitioner, 8 subgraphs, the
-// in-memory transport, no progress reporting.
+// in-memory transport, no progress reporting, data-plane parallelism of
+// GOMAXPROCS (see Parallelism).
 func NewPipeline(opts ...PipelineOption) *Pipeline {
 	p := &Pipeline{k: 8}
 	for _, opt := range opts {
@@ -150,7 +168,7 @@ func FromEdgeList(path string) PipelineOption {
 			if strings.HasSuffix(path, ".bin") {
 				return graph.ReadBinary(f)
 			}
-			return graph.ReadEdgeList(f, p.undirected)
+			return graph.ReadEdgeListParallel(f, p.undirected, p.par())
 		}
 	}
 }
@@ -176,6 +194,15 @@ func UseAssignment(a *Assignment) PipelineOption {
 // Subgraphs sets the number of subgraphs/workers k (default 8).
 func Subgraphs(k int) PipelineOption {
 	return func(p *Pipeline) { p.k = k }
+}
+
+// Parallelism bounds the number of CPUs the data-plane stages use: the
+// chunked edge-list parse of StageLoad and the per-part subgraph
+// construction of StageBuild. Values < 1 (and the default) select
+// GOMAXPROCS. It does not affect the partition algorithms or the BSP run,
+// whose concurrency follows the subgraph count.
+func Parallelism(n int) PipelineOption {
+	return func(p *Pipeline) { p.parallelism = n }
 }
 
 // WithEdgeWeights makes StageBuild materialize weighted subgraphs (for
@@ -210,25 +237,31 @@ func MaterializeSubgraphs() PipelineOption {
 }
 
 // emit reports a stage event to the progress callback, if any.
-func (p *Pipeline) emit(stage PipelineStage, done bool, elapsed time.Duration, detail string) {
+func (p *Pipeline) emit(ev PipelineProgress) {
 	if p.progress != nil {
-		p.progress(PipelineProgress{Stage: stage, Done: done, Elapsed: elapsed, Detail: detail})
+		p.progress(ev)
 	}
 }
 
 // stage wraps fn with progress events and a context check, recording the
-// stage duration into *took.
-func (p *Pipeline) stage(ctx context.Context, s PipelineStage, detail string, took *time.Duration, fn func() error) error {
+// stage duration into *took. fn returns the number of edges the stage
+// processed, from which the completion event's throughput is derived.
+func (p *Pipeline) stage(ctx context.Context, s PipelineStage, detail string, took *time.Duration, fn func() (int64, error)) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	p.emit(s, false, 0, detail)
+	p.emit(PipelineProgress{Stage: s, Detail: detail})
 	start := time.Now()
-	if err := fn(); err != nil {
+	items, err := fn()
+	if err != nil {
 		return err
 	}
 	*took = time.Since(start)
-	p.emit(s, true, *took, detail)
+	ev := PipelineProgress{Stage: s, Done: true, Elapsed: *took, Detail: detail, Items: items}
+	if items > 0 && *took > 0 {
+		ev.Throughput = float64(items) / took.Seconds()
+	}
+	p.emit(ev)
 	return nil
 }
 
@@ -251,13 +284,13 @@ func (p *Pipeline) prepare(ctx context.Context, build bool) (*PipelineResult, er
 	}
 	res := &PipelineResult{}
 
-	if err := p.stage(ctx, StageLoad, p.sourceDesc, &res.LoadTime, func() error {
+	if err := p.stage(ctx, StageLoad, p.sourceDesc, &res.LoadTime, func() (int64, error) {
 		g, err := p.source(ctx)
 		if err != nil {
-			return fmt.Errorf("ebv: pipeline load: %w", err)
+			return 0, fmt.Errorf("ebv: pipeline load: %w", err)
 		}
 		res.Graph = g
-		return nil
+		return int64(g.NumEdges()), nil
 	}); err != nil {
 		return nil, err
 	}
@@ -276,44 +309,38 @@ func (p *Pipeline) prepare(ctx context.Context, build bool) (*PipelineResult, er
 		}
 		res.PartitionerName = part.Name()
 		detail := fmt.Sprintf("%s into %d subgraphs", part.Name(), p.k)
-		if err := p.stage(ctx, StagePartition, detail, &res.PartitionTime, func() error {
+		if err := p.stage(ctx, StagePartition, detail, &res.PartitionTime, func() (int64, error) {
 			a, err := partition.PartitionWithContext(ctx, part, res.Graph, p.k)
 			if err != nil {
-				return fmt.Errorf("ebv: pipeline partition (%s): %w", part.Name(), err)
+				return 0, fmt.Errorf("ebv: pipeline partition (%s): %w", part.Name(), err)
 			}
 			res.Assignment = a
-			return nil
+			return int64(res.Graph.NumEdges()), nil
 		}); err != nil {
 			return nil, err
 		}
 	}
 
 	var metricsTime time.Duration
-	if err := p.stage(ctx, StageMetrics, res.PartitionerName, &metricsTime, func() error {
+	if err := p.stage(ctx, StageMetrics, res.PartitionerName, &metricsTime, func() (int64, error) {
 		m, err := partition.ComputeMetrics(res.Graph, res.Assignment)
 		if err != nil {
-			return fmt.Errorf("ebv: pipeline metrics: %w", err)
+			return 0, fmt.Errorf("ebv: pipeline metrics: %w", err)
 		}
 		res.Metrics = m
-		return nil
+		return int64(res.Graph.NumEdges()), nil
 	}); err != nil {
 		return nil, err
 	}
 
 	if build {
-		if err := p.stage(ctx, StageBuild, fmt.Sprintf("%d subgraphs", res.Assignment.K), &res.BuildTime, func() error {
-			var subs []*bsp.Subgraph
-			var err error
-			if p.weights != nil {
-				subs, err = bsp.BuildSubgraphsWeighted(res.Graph, res.Assignment, p.weights)
-			} else {
-				subs, err = bsp.BuildSubgraphs(res.Graph, res.Assignment)
-			}
+		if err := p.stage(ctx, StageBuild, fmt.Sprintf("%d subgraphs", res.Assignment.K), &res.BuildTime, func() (int64, error) {
+			subs, err := bsp.BuildSubgraphsWeightedParallel(res.Graph, res.Assignment, p.weights, p.par())
 			if err != nil {
-				return fmt.Errorf("ebv: pipeline build: %w", err)
+				return 0, fmt.Errorf("ebv: pipeline build: %w", err)
 			}
 			res.Subgraphs = subs
-			return nil
+			return int64(res.Graph.NumEdges()), nil
 		}); err != nil {
 			return nil, err
 		}
@@ -354,13 +381,13 @@ func (p *Pipeline) Run(ctx context.Context, prog Program) (*PipelineResult, erro
 		}
 	}
 
-	if err := p.stage(ctx, StageRun, prog.Name(), &res.RunTime, func() error {
+	if err := p.stage(ctx, StageRun, prog.Name(), &res.RunTime, func() (int64, error) {
 		out, err := bsp.RunCtx(ctx, res.Subgraphs, prog, cfg)
 		if err != nil {
-			return fmt.Errorf("ebv: pipeline run (%s): %w", prog.Name(), err)
+			return 0, fmt.Errorf("ebv: pipeline run (%s): %w", prog.Name(), err)
 		}
 		res.BSP = out
-		return nil
+		return int64(res.Graph.NumEdges()), nil
 	}); err != nil {
 		return nil, err
 	}

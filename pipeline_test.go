@@ -5,6 +5,9 @@ package ebv_test
 import (
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -76,6 +79,79 @@ func TestPipelineEndToEnd(t *testing.T) {
 		}
 		if done.Stage != stage || !done.Done {
 			t.Fatalf("event %d = %+v, want completion of %s", 2*i+1, done, stage)
+		}
+	}
+}
+
+// TestPipelineParallelism runs the same edge-list file through the
+// pipeline at parallelism 1 and 4: the loaded graphs, assignments and
+// subgraphs must be identical, and completed stages must report throughput.
+func TestPipelineParallelism(t *testing.T) {
+	g := pipelineGraph(t)
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ebv.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(par int) (*ebv.PipelineResult, []ebv.PipelineProgress) {
+		var events []ebv.PipelineProgress
+		res, err := ebv.NewPipeline(
+			ebv.FromEdgeList(path),
+			ebv.Undirected(),
+			ebv.UsePartitioner(ebv.NewEBV()),
+			ebv.Subgraphs(4),
+			ebv.Parallelism(par),
+			ebv.OnProgress(func(p ebv.PipelineProgress) { events = append(events, p) }),
+		).Run(context.Background(), &ebv.CC{})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		return res, events
+	}
+	seq, _ := run(1)
+	par, events := run(4)
+
+	if seq.Graph.NumVertices() != par.Graph.NumVertices() ||
+		seq.Graph.NumEdges() != par.Graph.NumEdges() {
+		t.Fatalf("parallel load diverged: V %d/%d, E %d/%d",
+			seq.Graph.NumVertices(), par.Graph.NumVertices(),
+			seq.Graph.NumEdges(), par.Graph.NumEdges())
+	}
+	for i := 0; i < seq.Graph.NumEdges(); i++ {
+		if seq.Graph.Edge(i) != par.Graph.Edge(i) {
+			t.Fatalf("parallel load reordered edge %d", i)
+		}
+	}
+	if !reflect.DeepEqual(seq.Assignment, par.Assignment) {
+		t.Fatal("assignments diverged across parallelism settings")
+	}
+	if len(seq.Subgraphs) != len(par.Subgraphs) {
+		t.Fatal("subgraph counts diverged")
+	}
+	for p := range seq.Subgraphs {
+		if !reflect.DeepEqual(seq.Subgraphs[p], par.Subgraphs[p]) {
+			t.Fatalf("subgraph %d diverged across parallelism settings", p)
+		}
+	}
+	for _, ev := range events {
+		if !ev.Done {
+			if ev.Items != 0 || ev.Throughput != 0 {
+				t.Fatalf("start event carries throughput: %+v", ev)
+			}
+			continue
+		}
+		if ev.Items != int64(par.Graph.NumEdges()) {
+			t.Fatalf("stage %s: Items = %d, want %d", ev.Stage, ev.Items, par.Graph.NumEdges())
+		}
+		if ev.Throughput <= 0 {
+			t.Fatalf("stage %s: no throughput on completion event: %+v", ev.Stage, ev)
 		}
 	}
 }
