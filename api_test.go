@@ -39,8 +39,8 @@ func TestPublicQuickstartFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := ebv.SequentialCC(g)
-	for v, got := range res.Values {
-		if got != want[v] {
+	for v := range want {
+		if got, ok := res.Value(ebv.VertexID(v)); ok && got != want[v] {
 			t.Fatalf("CC(%d) mismatch", v)
 		}
 	}
@@ -157,9 +157,9 @@ func TestPublicAggregate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := ebv.SequentialAggregate(g, 2, nil)
-	for v, got := range res.Values {
-		if math.Abs(got-want[v]) > 1e-9 {
+	want := ebv.SequentialAggregate(g, 2, 1, nil)
+	for v := 0; v < g.NumVertices(); v++ {
+		if got, ok := res.Value(ebv.VertexID(v)); ok && math.Abs(got-want.Scalar(v)) > 1e-9 {
 			t.Fatalf("aggregate mismatch at %d", v)
 		}
 	}
@@ -178,7 +178,7 @@ func TestPublicPregel(t *testing.T) {
 	}
 	want := ebv.SequentialCC(g)
 	for v := range want {
-		if res.Values[v] != want[v] {
+		if res.Values.Scalar(v) != want[v] {
 			t.Fatalf("pregel CC mismatch at %d", v)
 		}
 	}

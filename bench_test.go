@@ -376,6 +376,70 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkMessageDelivery measures the message plane end-to-end: CC and
+// PageRank to quiescence over a fixed EBV partition, on the in-memory
+// router and the TCP loopback mesh — the delivery-throughput numbers
+// EXPERIMENTS.md tracks across message-plane changes. The width axis shows
+// the columnar batches' marginal cost of vector payloads (Aggregate).
+func BenchmarkMessageDelivery(b *testing.B) {
+	g := ablationGraph(b)
+	a, err := core.New().Partition(g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := bsp.BuildSubgraphs(g, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		prog  func() bsp.Program
+		width int
+	}{
+		{"CC", func() bsp.Program { return &apps.CC{} }, 1},
+		{"PR", func() bsp.Program { return &apps.PageRank{Iterations: 8} }, 1},
+		{"AGGw8", func() bsp.Program { return &apps.Aggregate{Layers: 2} }, 8},
+	}
+	for _, tc := range cases {
+		for _, tr := range []string{"mem", "tcp"} {
+			b.Run(fmt.Sprintf("%s/%s", tc.name, tr), func(b *testing.B) {
+				var msgs int64
+				for i := 0; i < b.N; i++ {
+					cfg := bsp.Config{ValueWidth: tc.width}
+					if tr == "tcp" {
+						// Mesh setup/teardown is connection plumbing, not
+						// message delivery: keep it off the clock.
+						b.StopTimer()
+						mesh, err := transport.NewTCPMesh(8)
+						if err != nil {
+							b.Fatal(err)
+						}
+						trs := make([]transport.Transport, 8)
+						for j := range trs {
+							trs[j] = mesh[j]
+						}
+						cfg.Transports = trs
+						b.StartTimer()
+					}
+					res, err := bsp.Run(subs, tc.prog(), cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					msgs = res.TotalMessages()
+					if len(cfg.Transports) > 0 {
+						b.StopTimer()
+						for _, t := range cfg.Transports {
+							_ = t.Close()
+						}
+						b.StartTimer()
+					}
+				}
+				b.ReportMetric(float64(msgs), "messages")
+			})
+		}
+	}
+}
+
 // BenchmarkPartitionerThroughput measures raw edges/second of every
 // partitioner on the same workload.
 func BenchmarkPartitionerThroughput(b *testing.B) {

@@ -1,15 +1,16 @@
-// Command ebv-run partitions a graph and executes one of the paper's
-// applications (CC, PR, SSSP) on the subgraph-centric BSP engine, printing
-// the §V-B breakdown (comp / comm / ΔC / execution time) and the message
-// statistics of Tables IV and V. It is a thin shell over ebv.Pipeline:
-// Ctrl-C cancels the in-flight stage (partitioning or a superstep) and
-// exits cleanly.
+// Command ebv-run partitions a graph and executes one of the evaluation
+// applications (CC, PR, SSSP, AGG) on the subgraph-centric BSP engine,
+// printing the §V-B breakdown (comp / comm / ΔC / execution time) and the
+// message statistics of Tables IV and V. It is a thin shell over
+// ebv.Pipeline: Ctrl-C cancels the in-flight stage (partitioning or a
+// superstep) and exits cleanly.
 //
 // Usage:
 //
 //	ebv-run -in graph.txt -algo EBV -parts 8 -app CC
 //	ebv-run -in graph.bin -algo METIS -parts 4 -app PR -iters 20
 //	ebv-run -in graph.txt -algo EBV -parts 4 -app SSSP -source 0 -transport tcp
+//	ebv-run -in graph.txt -algo EBV -parts 4 -app AGG -layers 2 -width 8
 package main
 
 import (
@@ -25,6 +26,10 @@ import (
 
 	"ebv"
 )
+
+// appNames lists the valid -app values (also echoed by the unknown-app
+// error message).
+var appNames = []string{"CC", "PR", "SSSP", "AGG"}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -45,9 +50,11 @@ func run(ctx context.Context) error {
 		undirected = flag.Bool("undirected", false, "treat text input as undirected")
 		algo       = flag.String("algo", "EBV", "partition algorithm")
 		parts      = flag.Int("parts", 8, "number of workers/subgraphs")
-		app        = flag.String("app", "CC", "application: CC | PR | SSSP")
+		app        = flag.String("app", "CC", "application: "+strings.Join(appNames, " | "))
 		iters      = flag.Int("iters", 10, "PageRank iterations")
+		layers     = flag.Int("layers", 2, "AGG aggregation layers")
 		source     = flag.Uint64("source", 0, "SSSP source vertex")
+		width      = flag.Int("width", 1, "per-vertex value width (floats per message; AGG aggregates width-wide feature vectors)")
 		transport  = flag.String("transport", "mem", "transport: mem | tcp")
 		assignPath = flag.String("assignment", "", "load a precomputed assignment (skips partitioning)")
 		progress   = flag.Bool("progress", false, "print pipeline stage progress to stderr")
@@ -56,6 +63,9 @@ func run(ctx context.Context) error {
 	flag.Parse()
 	if *in == "" {
 		return errors.New("missing -in (graph path)")
+	}
+	if *width < 1 {
+		return fmt.Errorf("invalid -width %d: the per-vertex value width must be >= 1", *width)
 	}
 
 	p, err := ebv.PartitionerByName(*algo)
@@ -70,8 +80,10 @@ func run(ctx context.Context) error {
 		prog = &ebv.PageRank{Iterations: *iters}
 	case "SSSP":
 		prog = &ebv.SSSP{Source: ebv.VertexID(*source)}
+	case "AGG", "AGGREGATE":
+		prog = &ebv.Aggregate{Layers: *layers}
 	default:
-		return fmt.Errorf("unknown app %q (want CC, PR or SSSP)", *app)
+		return fmt.Errorf("unknown app %q (valid: %s)", *app, strings.Join(appNames, ", "))
 	}
 
 	opts := []ebv.PipelineOption{
@@ -79,6 +91,7 @@ func run(ctx context.Context) error {
 		ebv.UsePartitioner(p),
 		ebv.Subgraphs(*parts),
 		ebv.Parallelism(*par),
+		ebv.ValueWidth(*width),
 	}
 	if *undirected {
 		opts = append(opts, ebv.Undirected())

@@ -52,13 +52,18 @@ func run(ctx context.Context) error {
 		subPath = flag.String("subgraph", "", "subgraph file written by ebv-partition -subgraph-dir")
 		worker  = flag.Int("worker", -1, "this worker's id")
 		peers   = flag.String("peers", "", "comma-separated listen addresses, one per worker")
-		app     = flag.String("app", "CC", "application: CC | PR | SSSP")
+		app     = flag.String("app", "CC", "application: CC | PR | SSSP | AGG")
 		iters   = flag.Int("iters", 10, "PageRank iterations")
+		layers  = flag.Int("layers", 2, "AGG aggregation layers")
 		source  = flag.Uint64("source", 0, "SSSP source vertex")
+		width   = flag.Int("width", 1, "per-vertex value width (floats per message; must match all workers)")
 		timeout = flag.Duration("dial-timeout", 30*time.Second, "time to wait for peers")
-		outPath = flag.String("out", "", "write 'vertex value' lines here (default stdout)")
+		outPath = flag.String("out", "", "write 'vertex value...' lines here (default stdout)")
 	)
 	flag.Parse()
+	if *width < 1 {
+		return fmt.Errorf("invalid -width %d: the per-vertex value width must be >= 1", *width)
+	}
 	if *subPath == "" || *worker < 0 || *peers == "" {
 		return errors.New("need -subgraph, -worker and -peers")
 	}
@@ -95,8 +100,10 @@ func run(ctx context.Context) error {
 		prog = &ebv.PageRank{Iterations: *iters}
 	case "SSSP":
 		prog = &ebv.SSSP{Source: ebv.VertexID(*source)}
+	case "AGG", "AGGREGATE":
+		prog = &ebv.Aggregate{Layers: *layers}
 	default:
-		return fmt.Errorf("unknown app %q", *app)
+		return fmt.Errorf("unknown app %q (valid: CC, PR, SSSP, AGG)", *app)
 	}
 
 	tr, err := ebv.NewTCPWorkerCtx(ctx, *worker, addrs, *timeout)
@@ -105,7 +112,7 @@ func run(ctx context.Context) error {
 	}
 	defer tr.Close()
 
-	res, err := ebv.RunBSPWorkerCtx(ctx, sub, prog, tr, 0)
+	res, err := ebv.RunBSPWorkerCtx(ctx, sub, prog, tr, ebv.RunConfig{ValueWidth: *width})
 	if err != nil {
 		return err
 	}
@@ -135,8 +142,10 @@ func run(ctx context.Context) error {
 	for _, gid := range ids {
 		local, _ := sub.LocalOf(ebv.VertexID(gid))
 		bw.WriteString(strconv.Itoa(gid))
-		bw.WriteByte(' ')
-		bw.WriteString(strconv.FormatFloat(res.Values[local], 'g', -1, 64))
+		for _, v := range res.Values.Row(int(local)) {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
 		if err := bw.WriteByte('\n'); err != nil {
 			return err
 		}

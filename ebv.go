@@ -210,9 +210,16 @@ type (
 	RunResult = bsp.Result
 	// WorkerRunResult is one worker's outcome in a multi-process run.
 	WorkerRunResult = bsp.WorkerResult
-	// Message is a replica-synchronization message.
-	Message = transport.Message
-	// Transport moves messages between workers.
+	// MessageBatch is a columnar batch of replica-synchronization
+	// messages (vertex-id column + width-strided value column).
+	MessageBatch = transport.MessageBatch
+	// ValueMatrix is the width-aware columnar vertex-value store returned
+	// by programs and runs (row per vertex, ValueWidth columns).
+	ValueMatrix = graph.ValueMatrix
+	// WorkerEnv is the per-run execution environment handed to
+	// Program.NewWorker (value width + pooled batch allocator).
+	WorkerEnv = bsp.Env
+	// Transport moves message batches between workers.
 	Transport = transport.Transport
 	// FaultInjector wraps a Transport to fail a chosen exchange — the
 	// failure-injection hook used in tests.
@@ -242,12 +249,19 @@ var (
 	NewTCPWorker                   = transport.NewTCPWorker
 	NewTCPWorkerCtx                = transport.NewTCPWorkerCtx
 	// NewRunConfig builds a RunConfig from functional options
-	// (WithMaxSteps, WithTransports, WithReplicaVerification); the
-	// struct-literal form keeps working.
+	// (WithMaxSteps, WithTransports, WithValueWidth,
+	// WithReplicaVerification); the struct-literal form keeps working.
 	NewRunConfig            = bsp.NewConfig
 	WithMaxSteps            = bsp.WithMaxSteps
 	WithTransports          = bsp.WithTransports
+	WithValueWidth          = bsp.WithValueWidth
 	WithReplicaVerification = bsp.WithReplicaVerification
+	// NewValueMatrix allocates a zeroed rows×width value matrix.
+	NewValueMatrix = graph.NewValueMatrix
+	// GetMessageBatch / RecycleMessageBatch expose the pooled batch
+	// allocator for custom Program implementations and transports.
+	GetMessageBatch     = transport.GetBatch
+	RecycleMessageBatch = transport.RecycleBatch
 )
 
 // Applications (§V-A) and sequential oracles.

@@ -63,8 +63,8 @@ func ExampleRunBSP() {
 	}
 	want := ebv.SequentialCC(g)
 	agree := true
-	for v, got := range res.Values {
-		if got != want[v] {
+	for v := range want {
+		if got, ok := res.Value(ebv.VertexID(v)); ok && got != want[v] {
 			agree = false
 			break
 		}

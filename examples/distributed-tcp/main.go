@@ -67,8 +67,8 @@ func run() error {
 		res.TotalMessages(), res.AvgComm().Round(time.Microsecond))
 
 	want := ebv.SequentialCC(g)
-	for v, got := range res.Values {
-		if got != want[v] {
+	for v := range want {
+		if got, ok := res.Value(ebv.VertexID(v)); ok && got != want[v] {
 			return fmt.Errorf("TCP result differs from oracle at vertex %d", v)
 		}
 	}

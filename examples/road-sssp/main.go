@@ -50,8 +50,9 @@ func run() error {
 			return err
 		}
 		reachable, maxDist := 0, 0.0
-		for _, d := range res.Values {
-			if !math.IsInf(d, 1) {
+		for v := 0; v < g.NumVertices(); v++ {
+			d, ok := res.Value(ebv.VertexID(v))
+			if ok && !math.IsInf(d, 1) {
 				reachable++
 				if d > maxDist {
 					maxDist = d

@@ -58,8 +58,10 @@ func run(ctx context.Context) error {
 
 	// Community size histogram from the distributed result.
 	sizes := map[float64]int{}
-	for _, label := range res.BSP.Values {
-		sizes[label]++
+	for v := 0; v < res.Graph.NumVertices(); v++ {
+		if label, ok := res.BSP.Value(ebv.VertexID(v)); ok {
+			sizes[label]++
+		}
 	}
 	type community struct {
 		label float64
@@ -80,8 +82,8 @@ func run(ctx context.Context) error {
 
 	// Cross-check against the sequential oracle.
 	want := ebv.SequentialCC(res.Graph)
-	for v, got := range res.BSP.Values {
-		if got != want[v] {
+	for v := range want {
+		if got, ok := res.BSP.Value(ebv.VertexID(v)); ok && got != want[v] {
 			return fmt.Errorf("distributed CC differs from oracle at vertex %d", v)
 		}
 	}

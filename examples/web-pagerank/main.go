@@ -45,7 +45,7 @@ func run(ctx context.Context) error {
 		iters   = 15
 	)
 
-	var ebvValues map[ebv.VertexID]float64
+	var ebvRun *ebv.RunResult
 	for _, p := range []ebv.Partitioner{ebv.NewEBV(), &ebv.DBH{}} {
 		res, err := ebv.NewPipeline(
 			ebv.FromGraph(g),
@@ -58,7 +58,7 @@ func run(ctx context.Context) error {
 		fmt.Printf("%-4s subgraph-centric: %v, %d messages\n",
 			res.PartitionerName, res.RunTime.Round(time.Millisecond), res.BSP.TotalMessages())
 		if res.PartitionerName == "EBV" {
-			ebvValues = res.BSP.Values
+			ebvRun = res.BSP
 		}
 	}
 
@@ -76,9 +76,11 @@ func run(ctx context.Context) error {
 		id   ebv.VertexID
 		rank float64
 	}
-	pages := make([]page, 0, len(ebvValues))
-	for id, rank := range ebvValues {
-		pages = append(pages, page{id, rank})
+	pages := make([]page, 0, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		if rank, ok := ebvRun.Value(ebv.VertexID(v)); ok {
+			pages = append(pages, page{ebv.VertexID(v), rank})
+		}
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i].rank > pages[j].rank })
 	fmt.Println("top pages:")

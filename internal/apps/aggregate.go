@@ -10,17 +10,22 @@ import (
 //
 //	h_{t+1}(v) = (h_t(v) + Σ_{(u,v)∈E} h_t(u)) / (1 + indeg(v))
 //
-// This is the message-passing kernel of GNN inference (a GraphSAGE-mean
-// layer on a scalar feature) — the workload the paper's §VII names as the
-// next application of EBV ("we plan to apply EBV to distributed graph
-// neural networks"). Its communication pattern is identical per layer to
-// PageRank's gather/apply, so partition quality shows up the same way.
+// applied componentwise to a feature vector of the run's value width
+// (bsp.Config.ValueWidth; width 1 is the scalar case). This is the
+// message-passing kernel of GNN inference (a GraphSAGE-mean layer) — the
+// workload the paper's §VII names as the next application of EBV ("we plan
+// to apply EBV to distributed graph neural networks"). Its communication
+// pattern is identical per layer to PageRank's gather/apply, so partition
+// quality shows up the same way; the columnar message plane ships whole
+// feature rows per replica instead of one message per component.
 type Aggregate struct {
 	// Layers is the number of aggregation rounds (default 2).
 	Layers int
-	// Feature returns vertex v's input feature (default: f(v) = v mod 7,
-	// a deterministic non-trivial signal).
-	Feature func(v graph.VertexID) float64
+	// Feature fills vertex v's input feature row (len(feat) equals the
+	// run's value width). Default: feat[j] = float64((v + j) mod 7), a
+	// deterministic non-trivial signal whose width-1 column matches the
+	// historical scalar default f(v) = v mod 7.
+	Feature func(v graph.VertexID, feat []float64)
 }
 
 var _ bsp.Program = (*Aggregate)(nil)
@@ -35,24 +40,32 @@ func (a *Aggregate) layers() int {
 	return a.Layers
 }
 
-func (a *Aggregate) feature(v graph.VertexID) float64 {
+func (a *Aggregate) feature() func(graph.VertexID, []float64) {
 	if a.Feature != nil {
-		return a.Feature(v)
+		return a.Feature
 	}
-	return float64(v % 7)
+	return defaultFeature
+}
+
+func defaultFeature(v graph.VertexID, feat []float64) {
+	for j := range feat {
+		feat[j] = float64((uint64(v) + uint64(j)) % 7)
+	}
 }
 
 // NewWorker implements bsp.Program.
-func (a *Aggregate) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
+func (a *Aggregate) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
 	n := sub.NumLocalVertices()
 	w := &aggWorker{
 		sub:     sub,
+		env:     env,
 		layers:  a.layers(),
-		h:       make([]float64, n),
-		partial: make([]float64, n),
+		h:       env.NewValues(n),
+		partial: env.NewValues(n),
 	}
+	feature := a.feature()
 	for l := 0; l < n; l++ {
-		w.h[l] = a.feature(sub.GlobalIDs[l])
+		feature(sub.GlobalIDs[l], w.h.Row(l))
 	}
 	w.replicated = sub.ReplicatedVertices()
 	return w
@@ -60,95 +73,110 @@ func (a *Aggregate) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
 
 type aggWorker struct {
 	sub        *bsp.Subgraph
+	env        bsp.Env
 	layers     int
-	h          []float64
-	partial    []float64
+	h          *graph.ValueMatrix
+	partial    *graph.ValueMatrix
 	replicated []int32
 }
 
+// addRow accumulates src into dst componentwise.
+func addRow(dst, src []float64) {
+	for j, v := range src {
+		dst[j] += v
+	}
+}
+
 // Superstep implements bsp.WorkerProgram. Like PageRank, each layer is a
-// gather (even) / apply (odd) superstep pair routed through vertex masters.
-func (w *aggWorker) Superstep(step int, in []transport.Message) (out [][]transport.Message, active bool) {
+// gather (even) / apply (odd) superstep pair routed through vertex
+// masters; the incoming LocalOf probe feeds a strided row copy into the
+// local value matrix.
+func (w *aggWorker) Superstep(step int, in *transport.MessageBatch) (out []*transport.MessageBatch, active bool) {
 	layer := step / 2
 	if step%2 == 0 {
-		for _, m := range in {
-			if local, ok := w.sub.LocalOf(m.Vertex); ok {
-				w.h[local] = m.Value
+		for i, gid := range in.IDs {
+			if local, ok := w.sub.LocalOf(gid); ok {
+				copy(w.h.Row(int(local)), in.Row(i))
 			}
 		}
 		if layer >= w.layers {
 			return nil, false
 		}
-		for i := range w.partial {
-			w.partial[i] = 0
+		for i := range w.partial.Data {
+			w.partial.Data[i] = 0
 		}
 		for _, e := range w.sub.Edges {
-			w.partial[e.Dst] += w.h[e.Src]
+			addRow(w.partial.Row(int(e.Dst)), w.h.Row(int(e.Src)))
 		}
-		out = make([][]transport.Message, w.sub.NumWorkers)
+		out = make([]*transport.MessageBatch, w.sub.NumWorkers)
 		self := int32(w.sub.Part)
 		for _, local := range w.replicated {
 			if master := w.sub.Master(local); master != self {
-				out[master] = append(out[master], transport.Message{
-					Vertex: w.sub.GlobalIDs[local],
-					Value:  w.partial[local],
-				})
+				outBatch(out, master, w.env).AppendRow(w.sub.GlobalIDs[local], w.partial.Row(int(local)))
 			}
 		}
 		return out, true
 	}
 
-	for _, m := range in {
-		if local, ok := w.sub.LocalOf(m.Vertex); ok {
-			w.partial[local] += m.Value
+	for i, gid := range in.IDs {
+		if local, ok := w.sub.LocalOf(gid); ok {
+			addRow(w.partial.Row(int(local)), in.Row(i))
 		}
 	}
 	self := int32(w.sub.Part)
-	out = make([][]transport.Message, w.sub.NumWorkers)
-	for l := range w.h {
+	out = make([]*transport.MessageBatch, w.sub.NumWorkers)
+	for l := 0; l < w.sub.NumLocalVertices(); l++ {
 		local := int32(l)
 		if w.sub.Master(local) != self {
 			continue
 		}
-		w.h[l] = (w.h[l] + w.partial[l]) / float64(1+w.sub.GlobalInDegree[l])
+		norm := float64(1 + w.sub.GlobalInDegree[l])
+		hRow, pRow := w.h.Row(l), w.partial.Row(l)
+		for j := range hRow {
+			hRow[j] = (hRow[j] + pRow[j]) / norm
+		}
 		gid := w.sub.GlobalIDs[l]
 		for _, peer := range w.sub.ReplicaPeers[local] {
-			out[peer] = append(out[peer], transport.Message{Vertex: gid, Value: w.h[l]})
+			outBatch(out, peer, w.env).AppendRow(gid, hRow)
 		}
 	}
 	return out, true
 }
 
 // Values implements bsp.WorkerProgram.
-func (w *aggWorker) Values() []float64 {
-	vals := make([]float64, len(w.h))
-	copy(vals, w.h)
-	return vals
+func (w *aggWorker) Values() *graph.ValueMatrix {
+	return w.h.Clone()
 }
 
-// SequentialAggregate is the oracle for Aggregate.
-func SequentialAggregate(g *graph.Graph, layers int, feature func(v graph.VertexID) float64) []float64 {
+// SequentialAggregate is the width-aware oracle for Aggregate: the same
+// update applied to a dense width-column feature matrix (width < 1 selects
+// 1, nil feature selects the default).
+func SequentialAggregate(g *graph.Graph, layers, width int, feature func(v graph.VertexID, feat []float64)) *graph.ValueMatrix {
 	if layers <= 0 {
 		layers = 2
 	}
 	if feature == nil {
-		feature = func(v graph.VertexID) float64 { return float64(v % 7) }
+		feature = defaultFeature
 	}
 	n := g.NumVertices()
-	h := make([]float64, n)
-	next := make([]float64, n)
+	h := graph.NewValueMatrix(n, width)
+	next := graph.NewValueMatrix(n, width)
 	for v := 0; v < n; v++ {
-		h[v] = feature(graph.VertexID(v))
+		feature(graph.VertexID(v), h.Row(v))
 	}
 	for t := 0; t < layers; t++ {
-		for i := range next {
-			next[i] = 0
+		for i := range next.Data {
+			next.Data[i] = 0
 		}
 		for _, e := range g.Edges() {
-			next[e.Dst] += h[e.Src]
+			addRow(next.Row(int(e.Dst)), h.Row(int(e.Src)))
 		}
 		for v := 0; v < n; v++ {
-			next[v] = (h[v] + next[v]) / float64(1+g.InDegree(graph.VertexID(v)))
+			norm := float64(1 + g.InDegree(graph.VertexID(v)))
+			hRow, nRow := h.Row(v), next.Row(v)
+			for j := range nRow {
+				nRow[j] = (hRow[j] + nRow[j]) / norm
+			}
 		}
 		h, next = next, h
 	}

@@ -140,13 +140,31 @@ func TestSequentialPageRankEmpty(t *testing.T) {
 }
 
 func TestSequentialAggregateFixedPoint(t *testing.T) {
-	// With a constant feature, mean aggregation is a fixed point.
+	// With a constant feature, mean aggregation is a fixed point (checked
+	// across every column of a width-3 run).
 	g := lineGraph(t, 8)
-	h := SequentialAggregate(g, 3, func(graph.VertexID) float64 { return 5 })
-	for v, x := range h {
-		if math.Abs(x-5) > 1e-12 {
-			t.Fatalf("h[%d] = %g, want 5", v, x)
+	h := SequentialAggregate(g, 3, 3, func(_ graph.VertexID, feat []float64) {
+		for j := range feat {
+			feat[j] = 5
 		}
+	})
+	for i, x := range h.Data {
+		if math.Abs(x-5) > 1e-12 {
+			t.Fatalf("h.Data[%d] = %g, want 5", i, x)
+		}
+	}
+}
+
+func TestSequentialAggregateWidthOneMatchesScalarDefault(t *testing.T) {
+	// The default feature's column 0 is the historical scalar f(v) = v%7,
+	// so a width-1 run reproduces the scalar-era oracle exactly.
+	g := lineGraph(t, 16)
+	h := SequentialAggregate(g, 2, 1, nil)
+	manual := SequentialAggregate(g, 2, 1, func(v graph.VertexID, feat []float64) {
+		feat[0] = float64(v % 7)
+	})
+	if !h.EqualValues(manual) {
+		t.Fatal("default width-1 feature differs from the scalar-era default")
 	}
 }
 
@@ -167,15 +185,13 @@ func TestSequentialAggregateSmoothing(t *testing.T) {
 		}
 		return hi - lo
 	}
-	h0 := SequentialAggregate(g, 0, nil) // layers<=0 → default 2... use explicit
-	h1 := SequentialAggregate(g, 1, nil)
-	_ = h0
+	h1 := SequentialAggregate(g, 1, 1, nil)
 	input := make([]float64, g.NumVertices())
 	for v := range input {
 		input[v] = float64(v % 7)
 	}
-	if spread(h1) > spread(input)+1e-12 {
-		t.Fatalf("spread grew: %g > %g", spread(h1), spread(input))
+	if spread(h1.Data) > spread(input)+1e-12 {
+		t.Fatalf("spread grew: %g > %g", spread(h1.Data), spread(input))
 	}
 }
 

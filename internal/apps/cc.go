@@ -8,12 +8,37 @@
 // the communication stage exchanges values only between replicas of cut
 // vertices. This is what lets the subgraph-centric model omit messages a
 // vertex-centric system would send across the network.
+//
+// Messages travel as columnar batches (transport.MessageBatch) whose value
+// width is the run's bsp.Config.ValueWidth. The scalar applications here
+// use the width-1 accessors (AppendScalar/Scalar) and remain correct at
+// any width (extra columns stay zero); Aggregate is fully width-aware and
+// moves whole feature-vector rows.
 package apps
 
 import (
 	"ebv/internal/bsp"
+	"ebv/internal/graph"
 	"ebv/internal/transport"
 )
+
+// outBatch returns out[dst], drawing a pooled batch from env on first use.
+func outBatch(out []*transport.MessageBatch, dst int32, env bsp.Env) *transport.MessageBatch {
+	if out[dst] == nil {
+		out[dst] = env.NewBatch()
+	}
+	return out[dst]
+}
+
+// scalarValues exports a scalar state slice as the run-width value matrix
+// (column 0 = the value) — the Values() of every scalar program here.
+func scalarValues(env bsp.Env, state []float64) *graph.ValueMatrix {
+	vals := env.NewValues(len(state))
+	for l, v := range state {
+		vals.SetScalar(l, v)
+	}
+	return vals
+}
 
 // CC computes connected components (treating edges as undirected, as the
 // paper's CC does): every vertex ends with the minimum global vertex id of
@@ -36,9 +61,10 @@ var _ bsp.Program = (*CC)(nil)
 func (c *CC) Name() string { return "CC" }
 
 // NewWorker implements bsp.Program.
-func (c *CC) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
+func (c *CC) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
 	w := &ccWorker{
 		sub:     sub,
+		env:     env,
 		sendAll: c.SendAll,
 		dsu:     newDSU(sub.NumLocalVertices()),
 		label:   make([]float64, sub.NumLocalVertices()),
@@ -63,6 +89,7 @@ func (c *CC) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
 
 type ccWorker struct {
 	sub        *bsp.Subgraph
+	env        bsp.Env
 	sendAll    bool
 	dsu        *dsu
 	label      []float64 // valid at component roots
@@ -73,16 +100,16 @@ type ccWorker struct {
 }
 
 // Superstep implements bsp.WorkerProgram.
-func (w *ccWorker) Superstep(step int, in []transport.Message) (out [][]transport.Message, active bool) {
+func (w *ccWorker) Superstep(step int, in *transport.MessageBatch) (out []*transport.MessageBatch, active bool) {
 	changed := false
-	for _, m := range in {
-		local, ok := w.sub.LocalOf(m.Vertex)
+	for i, gid := range in.IDs {
+		local, ok := w.sub.LocalOf(gid)
 		if !ok {
 			continue // defensive: message for a vertex we do not cover
 		}
 		r := w.dsu.find(local)
-		if m.Value < w.label[r] {
-			w.label[r] = m.Value
+		if v := in.Scalar(i); v < w.label[r] {
+			w.label[r] = v
 			changed = true
 		}
 	}
@@ -96,7 +123,7 @@ func (w *ccWorker) Superstep(step int, in []transport.Message) (out [][]transpor
 	if !changed {
 		return nil, false
 	}
-	out = make([][]transport.Message, w.sub.NumWorkers)
+	out = make([]*transport.MessageBatch, w.sub.NumWorkers)
 	for i, local := range w.replicated {
 		val := w.label[w.dsu.find(local)]
 		if !w.sendAll && val == w.lastSent[i] {
@@ -105,17 +132,17 @@ func (w *ccWorker) Superstep(step int, in []transport.Message) (out [][]transpor
 		w.lastSent[i] = val
 		gid := w.sub.GlobalIDs[local]
 		for _, peer := range w.sub.ReplicaPeers[local] {
-			out[peer] = append(out[peer], transport.Message{Vertex: gid, Value: val})
+			outBatch(out, peer, w.env).AppendScalar(gid, val)
 		}
 	}
 	return out, false
 }
 
 // Values implements bsp.WorkerProgram.
-func (w *ccWorker) Values() []float64 {
-	vals := make([]float64, w.sub.NumLocalVertices())
-	for l := range vals {
-		vals[l] = w.label[w.dsu.find(int32(l))]
+func (w *ccWorker) Values() *graph.ValueMatrix {
+	vals := w.env.NewValues(w.sub.NumLocalVertices())
+	for l := 0; l < w.sub.NumLocalVertices(); l++ {
+		vals.SetScalar(l, w.label[w.dsu.find(int32(l))])
 	}
 	return vals
 }

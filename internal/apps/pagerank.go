@@ -2,6 +2,7 @@ package apps
 
 import (
 	"ebv/internal/bsp"
+	"ebv/internal/graph"
 	"ebv/internal/transport"
 )
 
@@ -38,7 +39,7 @@ var _ bsp.Program = (*PageRank)(nil)
 func (p *PageRank) Name() string { return "PR" }
 
 // NewWorker implements bsp.Program.
-func (p *PageRank) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
+func (p *PageRank) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
 	iters := p.Iterations
 	if iters <= 0 {
 		iters = 10
@@ -50,6 +51,7 @@ func (p *PageRank) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
 	n := sub.NumLocalVertices()
 	w := &prWorker{
 		sub:     sub,
+		env:     env,
 		iters:   iters,
 		damping: damping,
 		rank:    make([]float64, n),
@@ -65,6 +67,7 @@ func (p *PageRank) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
 
 type prWorker struct {
 	sub        *bsp.Subgraph
+	env        bsp.Env
 	iters      int
 	damping    float64
 	rank       []float64
@@ -73,13 +76,13 @@ type prWorker struct {
 }
 
 // Superstep implements bsp.WorkerProgram.
-func (w *prWorker) Superstep(step int, in []transport.Message) (out [][]transport.Message, active bool) {
+func (w *prWorker) Superstep(step int, in *transport.MessageBatch) (out []*transport.MessageBatch, active bool) {
 	iter := step / 2
 	if step%2 == 0 {
 		// Gather: first install ranks scattered by masters last step.
-		for _, m := range in {
-			if local, ok := w.sub.LocalOf(m.Vertex); ok {
-				w.rank[local] = m.Value
+		for i, gid := range in.IDs {
+			if local, ok := w.sub.LocalOf(gid); ok {
+				w.rank[local] = in.Scalar(i)
 			}
 		}
 		if iter >= w.iters {
@@ -95,28 +98,25 @@ func (w *prWorker) Superstep(step int, in []transport.Message) (out [][]transpor
 			}
 		}
 		// Mirrors ship partials to masters.
-		out = make([][]transport.Message, w.sub.NumWorkers)
+		out = make([]*transport.MessageBatch, w.sub.NumWorkers)
 		self := int32(w.sub.Part)
 		for _, local := range w.replicated {
 			if master := w.sub.Master(local); master != self {
-				out[master] = append(out[master], transport.Message{
-					Vertex: w.sub.GlobalIDs[local],
-					Value:  w.partial[local],
-				})
+				outBatch(out, master, w.env).AppendScalar(w.sub.GlobalIDs[local], w.partial[local])
 			}
 		}
 		return out, true
 	}
 
 	// Apply: masters fold in mirror partials, update, scatter.
-	for _, m := range in {
-		if local, ok := w.sub.LocalOf(m.Vertex); ok {
-			w.partial[local] += m.Value
+	for i, gid := range in.IDs {
+		if local, ok := w.sub.LocalOf(gid); ok {
+			w.partial[local] += in.Scalar(i)
 		}
 	}
 	base := (1 - w.damping) / float64(w.sub.NumGlobalVertices)
 	self := int32(w.sub.Part)
-	out = make([][]transport.Message, w.sub.NumWorkers)
+	out = make([]*transport.MessageBatch, w.sub.NumWorkers)
 	for l := range w.rank {
 		local := int32(l)
 		if w.sub.Master(local) != self {
@@ -125,7 +125,7 @@ func (w *prWorker) Superstep(step int, in []transport.Message) (out [][]transpor
 		w.rank[l] = base + w.damping*w.partial[l]
 		gid := w.sub.GlobalIDs[l]
 		for _, peer := range w.sub.ReplicaPeers[local] {
-			out[peer] = append(out[peer], transport.Message{Vertex: gid, Value: w.rank[l]})
+			outBatch(out, peer, w.env).AppendScalar(gid, w.rank[l])
 		}
 	}
 	// Stay active through the final scatter so mirrors install it.
@@ -133,8 +133,6 @@ func (w *prWorker) Superstep(step int, in []transport.Message) (out [][]transpor
 }
 
 // Values implements bsp.WorkerProgram.
-func (w *prWorker) Values() []float64 {
-	vals := make([]float64, len(w.rank))
-	copy(vals, w.rank)
-	return vals
+func (w *prWorker) Values() *graph.ValueMatrix {
+	return scalarValues(w.env, w.rank)
 }

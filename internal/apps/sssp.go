@@ -27,9 +27,10 @@ var _ bsp.Program = (*SSSP)(nil)
 func (s *SSSP) Name() string { return "SSSP" }
 
 // NewWorker implements bsp.Program.
-func (s *SSSP) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
+func (s *SSSP) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
 	w := &ssspWorker{
 		sub:    sub,
+		env:    env,
 		source: s.Source,
 		dist:   make([]float64, sub.NumLocalVertices()),
 	}
@@ -46,6 +47,7 @@ func (s *SSSP) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
 
 type ssspWorker struct {
 	sub     *bsp.Subgraph
+	env     bsp.Env
 	source  graph.VertexID
 	dist    []float64
 	queue   []int32
@@ -90,14 +92,14 @@ func (w *ssspWorker) markImproved(v int32) {
 }
 
 // Superstep implements bsp.WorkerProgram.
-func (w *ssspWorker) Superstep(step int, in []transport.Message) (out [][]transport.Message, active bool) {
-	for _, m := range in {
-		local, ok := w.sub.LocalOf(m.Vertex)
+func (w *ssspWorker) Superstep(step int, in *transport.MessageBatch) (out []*transport.MessageBatch, active bool) {
+	for i, gid := range in.IDs {
+		local, ok := w.sub.LocalOf(gid)
 		if !ok {
 			continue
 		}
-		if m.Value < w.dist[local] {
-			w.dist[local] = m.Value
+		if v := in.Scalar(i); v < w.dist[local] {
+			w.dist[local] = v
 			w.push(local)
 		}
 	}
@@ -112,12 +114,12 @@ func (w *ssspWorker) Superstep(step int, in []transport.Message) (out [][]transp
 	if len(w.improved) == 0 {
 		return nil, false
 	}
-	out = make([][]transport.Message, w.sub.NumWorkers)
+	out = make([]*transport.MessageBatch, w.sub.NumWorkers)
 	for v := range w.improved {
 		gid := w.sub.GlobalIDs[v]
 		val := w.dist[v]
 		for _, peer := range w.sub.ReplicaPeers[v] {
-			out[peer] = append(out[peer], transport.Message{Vertex: gid, Value: val})
+			outBatch(out, peer, w.env).AppendScalar(gid, val)
 		}
 	}
 	w.improved = nil
@@ -125,8 +127,6 @@ func (w *ssspWorker) Superstep(step int, in []transport.Message) (out [][]transp
 }
 
 // Values implements bsp.WorkerProgram.
-func (w *ssspWorker) Values() []float64 {
-	vals := make([]float64, len(w.dist))
-	copy(vals, w.dist)
-	return vals
+func (w *ssspWorker) Values() *graph.ValueMatrix {
+	return scalarValues(w.env, w.dist)
 }

@@ -27,9 +27,10 @@ var _ bsp.Program = (*WeightedSSSP)(nil)
 func (s *WeightedSSSP) Name() string { return "WSSSP" }
 
 // NewWorker implements bsp.Program.
-func (s *WeightedSSSP) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
+func (s *WeightedSSSP) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
 	w := &wssspWorker{
 		sub:    sub,
+		env:    env,
 		source: s.Source,
 		dist:   make([]float64, sub.NumLocalVertices()),
 	}
@@ -45,6 +46,7 @@ func (s *WeightedSSSP) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram {
 
 type wssspWorker struct {
 	sub      *bsp.Subgraph
+	env      bsp.Env
 	source   graph.VertexID
 	dist     []float64
 	frontier []int32
@@ -113,14 +115,14 @@ func (w *wssspWorker) relax() {
 }
 
 // Superstep implements bsp.WorkerProgram.
-func (w *wssspWorker) Superstep(step int, in []transport.Message) (out [][]transport.Message, active bool) {
-	for _, m := range in {
-		local, ok := w.sub.LocalOf(m.Vertex)
+func (w *wssspWorker) Superstep(step int, in *transport.MessageBatch) (out []*transport.MessageBatch, active bool) {
+	for i, gid := range in.IDs {
+		local, ok := w.sub.LocalOf(gid)
 		if !ok {
 			continue
 		}
-		if m.Value < w.dist[local] {
-			w.dist[local] = m.Value
+		if v := in.Scalar(i); v < w.dist[local] {
+			w.dist[local] = v
 			w.frontier = append(w.frontier, local)
 		}
 	}
@@ -133,12 +135,12 @@ func (w *wssspWorker) Superstep(step int, in []transport.Message) (out [][]trans
 	if len(w.improved) == 0 {
 		return nil, false
 	}
-	out = make([][]transport.Message, w.sub.NumWorkers)
+	out = make([]*transport.MessageBatch, w.sub.NumWorkers)
 	for v := range w.improved {
 		gid := w.sub.GlobalIDs[v]
 		val := w.dist[v]
 		for _, peer := range w.sub.ReplicaPeers[v] {
-			out[peer] = append(out[peer], transport.Message{Vertex: gid, Value: val})
+			outBatch(out, peer, w.env).AppendScalar(gid, val)
 		}
 	}
 	w.improved = nil
@@ -146,10 +148,8 @@ func (w *wssspWorker) Superstep(step int, in []transport.Message) (out [][]trans
 }
 
 // Values implements bsp.WorkerProgram.
-func (w *wssspWorker) Values() []float64 {
-	vals := make([]float64, len(w.dist))
-	copy(vals, w.dist)
-	return vals
+func (w *wssspWorker) Values() *graph.ValueMatrix {
+	return scalarValues(w.env, w.dist)
 }
 
 // SequentialWeightedSSSP is the Dijkstra oracle for WeightedSSSP.

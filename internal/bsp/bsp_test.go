@@ -1,7 +1,9 @@
 package bsp_test
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"ebv/internal/apps"
@@ -47,6 +49,27 @@ func testGraphs(t *testing.T) map[string]*graph.Graph {
 		t.Fatal(err)
 	}
 	return map[string]*graph.Graph{"powerlaw": pl, "road": road, "undirected": und}
+}
+
+// assertScalars compares a run's scalar (column 0) values against a global
+// oracle, skipping vertices no subgraph covers. tol < 0 selects exact
+// equality with +Inf treated as equal to +Inf (the SSSP convention).
+func assertScalars(t *testing.T, res *bsp.Result, want []float64, tol float64, label string) {
+	t.Helper()
+	for v := range want {
+		got, ok := res.Value(graph.VertexID(v))
+		if !ok {
+			continue
+		}
+		w := want[v]
+		if tol < 0 {
+			if got != w && !(math.IsInf(got, 1) && math.IsInf(w, 1)) {
+				t.Fatalf("%s: value(%d) = %g, want %g", label, v, got, w)
+			}
+		} else if math.Abs(got-w) > tol {
+			t.Fatalf("%s: value(%d) = %.12g, want %.12g", label, v, got, w)
+		}
+	}
 }
 
 func buildSubs(t *testing.T, g *graph.Graph, p partition.Partitioner, k int) []*bsp.Subgraph {
@@ -112,12 +135,8 @@ func TestCCAgreesWithSequential(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s k=%d: %v", name, p.Name(), k, err)
 				}
-				for v, got := range res.Values {
-					if got != want[v] {
-						t.Fatalf("%s/%s k=%d: CC(%d) = %g, want %g",
-							name, p.Name(), k, v, got, want[v])
-					}
-				}
+				assertScalars(t, res, want, -1,
+					fmt.Sprintf("%s/%s k=%d CC", name, p.Name(), k))
 			}
 		}
 	}
@@ -134,13 +153,8 @@ func TestSSSPAgreesWithSequential(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s k=%d: %v", name, p.Name(), k, err)
 				}
-				for v, got := range res.Values {
-					w := want[v]
-					if got != w && !(math.IsInf(got, 1) && math.IsInf(w, 1)) {
-						t.Fatalf("%s/%s k=%d: dist(%d) = %g, want %g",
-							name, p.Name(), k, v, got, w)
-					}
-				}
+				assertScalars(t, res, want, -1,
+					fmt.Sprintf("%s/%s k=%d SSSP", name, p.Name(), k))
 			}
 		}
 	}
@@ -156,12 +170,8 @@ func TestPageRankAgreesWithSequential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, p.Name(), err)
 			}
-			for v, got := range res.Values {
-				if math.Abs(got-want[v]) > 1e-9 {
-					t.Fatalf("%s/%s: PR(%d) = %.12g, want %.12g",
-						name, p.Name(), v, got, want[v])
-				}
-			}
+			assertScalars(t, res, want, 1e-9,
+				fmt.Sprintf("%s/%s PR", name, p.Name()))
 		}
 	}
 }
@@ -199,12 +209,7 @@ func TestRunOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := apps.SequentialCC(g)
-	for v, got := range res.Values {
-		if got != want[v] {
-			t.Fatalf("TCP CC(%d) = %g, want %g", v, got, want[v])
-		}
-	}
+	assertScalars(t, res, apps.SequentialCC(g), -1, "TCP CC")
 }
 
 func TestStatsPopulated(t *testing.T) {
@@ -268,11 +273,7 @@ func TestCCSendAllStillCorrect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for v, got := range res.Values {
-		if got != want[v] {
-			t.Fatalf("CC(%d) = %g, want %g", v, got, want[v])
-		}
-	}
+	assertScalars(t, res, want, -1, "CC send-all")
 }
 
 func TestBuildSubgraphsRejectsMismatch(t *testing.T) {
@@ -291,34 +292,69 @@ func TestRunRejectsEmptySubgraphs(t *testing.T) {
 
 func TestAggregateAgreesWithSequential(t *testing.T) {
 	g := testGraphs(t)["powerlaw"]
-	want := apps.SequentialAggregate(g, 3, nil)
+	want := apps.SequentialAggregate(g, 3, 1, nil)
 	for _, p := range allPartitioners() {
 		subs := buildSubs(t, g, p, 4)
 		res, err := bsp.Run(subs, &apps.Aggregate{Layers: 3}, bsp.Config{})
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}
-		for v, got := range res.Values {
-			if math.Abs(got-want[v]) > 1e-9 {
-				t.Fatalf("%s: h(%d) = %.12g, want %.12g", p.Name(), v, got, want[v])
-			}
-		}
+		assertScalars(t, res, want.Data, 1e-9, p.Name()+" aggregate")
 	}
 }
 
 func TestAggregateCustomFeature(t *testing.T) {
 	g := testGraphs(t)["road"]
-	feature := func(v graph.VertexID) float64 { return float64(v&1) * 3 }
-	want := apps.SequentialAggregate(g, 2, feature)
+	feature := func(v graph.VertexID, feat []float64) { feat[0] = float64(v&1) * 3 }
+	want := apps.SequentialAggregate(g, 2, 1, feature)
 	subs := buildSubs(t, g, core.New(), 3)
 	res, err := bsp.Run(subs, &apps.Aggregate{Layers: 2, Feature: feature}, bsp.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for v, got := range res.Values {
-		if math.Abs(got-want[v]) > 1e-9 {
-			t.Fatalf("h(%d) = %.12g, want %.12g", v, got, want[v])
+	assertScalars(t, res, want.Data, 1e-9, "aggregate custom feature")
+}
+
+// TestAggregateWideAgreesWithSequential runs the width-8 feature
+// aggregation and checks every column of every covered vertex against the
+// width-aware oracle.
+func TestAggregateWideAgreesWithSequential(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	const width = 8
+	want := apps.SequentialAggregate(g, 2, width, nil)
+	for _, k := range []int{1, 4} {
+		subs := buildSubs(t, g, core.New(), k)
+		res, err := bsp.Run(subs, &apps.Aggregate{Layers: 2},
+			bsp.Config{ValueWidth: width, VerifyReplicaAgreement: true})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
 		}
+		if res.Values.Width != width {
+			t.Fatalf("k=%d: result width %d", k, res.Values.Width)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			row, ok := res.Row(graph.VertexID(v))
+			if !ok {
+				continue
+			}
+			for j, got := range row {
+				if math.Abs(got-want.At(v, j)) > 1e-9 {
+					t.Fatalf("k=%d: h(%d)[%d] = %.12g, want %.12g",
+						k, v, j, got, want.At(v, j))
+				}
+			}
+		}
+	}
+}
+
+// TestRunRejectsBadValueWidth: the engine refuses negative widths with a
+// clear diagnostic instead of mis-striding.
+func TestRunRejectsBadValueWidth(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	subs := buildSubs(t, g, core.New(), 2)
+	_, err := bsp.Run(subs, &apps.CC{}, bsp.Config{ValueWidth: -2})
+	if err == nil || !strings.Contains(err.Error(), "value width") {
+		t.Fatalf("err = %v, want a value-width diagnostic", err)
 	}
 }
 
@@ -342,13 +378,8 @@ func TestWeightedSSSPAgreesWithSequential(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s k=%d: %v", name, p.Name(), k, err)
 				}
-				for v, got := range res.Values {
-					w := want[v]
-					if got != w && !(math.IsInf(got, 1) && math.IsInf(w, 1)) {
-						t.Fatalf("%s/%s k=%d: dist(%d) = %g, want %g",
-							name, p.Name(), k, v, got, w)
-					}
-				}
+				assertScalars(t, res, want, -1,
+					fmt.Sprintf("%s/%s k=%d WSSSP", name, p.Name(), k))
 			}
 		}
 	}
@@ -363,12 +394,7 @@ func TestWeightedSSSPUnitWeightsMatchesBFS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for v, got := range res.Values {
-		w := want[v]
-		if got != w && !(math.IsInf(got, 1) && math.IsInf(w, 1)) {
-			t.Fatalf("dist(%d) = %g, want %g", v, got, w)
-		}
-	}
+	assertScalars(t, res, want, -1, "WSSSP unit weights")
 }
 
 func TestBuildSubgraphsWeightedValidation(t *testing.T) {

@@ -60,12 +60,14 @@ func TestRunCtxCancelMidSuperstep(t *testing.T) {
 	}
 }
 
-// TestRunCtxCancelDuringExchangeNoDeadlock reproduces the nastiest shape:
-// a FaultInjector (CloseOnFail=false) kills one worker mid-run, leaving the
-// three survivors blocked forever in the collective exchange — the
-// configuration that WOULD deadlock the barrier. Canceling the context
-// must release them and surface ctx.Err().
-func TestRunCtxCancelDuringExchangeNoDeadlock(t *testing.T) {
+// TestRunWorkerErrorReleasesBlockedPeers is the nastiest shape: a
+// FaultInjector (CloseOnFail=false) kills one worker mid-run WITHOUT
+// closing the transport, leaving the three survivors blocked in the
+// collective exchange. The engine must release them itself (a failing
+// worker cancels the run and closes the transports) and surface the root
+// cause — no cancellation from the caller, no deadlock, no masking of the
+// fault by the induced barrier errors.
+func TestRunWorkerErrorReleasesBlockedPeers(t *testing.T) {
 	g := testGraphs(t)["powerlaw"]
 	subs := buildSubs(t, g, core.New(), 4)
 	mem, err := transport.NewMem(4)
@@ -76,36 +78,25 @@ func TestRunCtxCancelDuringExchangeNoDeadlock(t *testing.T) {
 		Inner:      mem,
 		FailWorker: 2,
 		FailStep:   1,
-		// CloseOnFail false: the failing worker does NOT release its
-		// peers; only the context cancellation can.
+		// CloseOnFail false: the injector itself releases nobody; only
+		// the engine's own failure path can.
 		CloseOnFail: false,
 	}
 	trs := make([]transport.Transport, 4)
 	for w := range trs {
 		trs[w] = inj
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	done := runCtxAsync(ctx, subs, &apps.CC{}, bsp.Config{Transports: trs})
-
-	// Wait until the fault fired (worker 2 is out, peers are blocked).
-	deadline := time.Now().Add(10 * time.Second)
-	for !inj.Fired() {
-		if time.Now().After(deadline) {
-			t.Fatal("fault never fired")
-		}
-		time.Sleep(time.Millisecond)
-	}
-	time.Sleep(10 * time.Millisecond) // let the survivors block at the barrier
-	cancel()
-
+	done := runCtxAsync(context.Background(), subs, &apps.CC{}, bsp.Config{Transports: trs})
 	select {
 	case err := <-done:
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("err = %v, want context.Canceled", err)
+		if !errors.Is(err, transport.ErrInjected) {
+			t.Fatalf("err = %v, want the injected fault as root cause", err)
 		}
 	case <-time.After(30 * time.Second):
-		t.Fatal("cancellation did not release workers blocked in the exchange")
+		t.Fatal("worker error left peers deadlocked in the exchange")
+	}
+	if !inj.Fired() {
+		t.Fatal("fault never fired")
 	}
 }
 
@@ -126,10 +117,8 @@ func TestRunCtxBackgroundUnchanged(t *testing.T) {
 	if got.Steps != want.Steps {
 		t.Fatalf("steps: got %d, want %d", got.Steps, want.Steps)
 	}
-	for v, val := range want.Values {
-		if got.Values[v] != val {
-			t.Fatalf("vertex %d: got %g, want %g", v, got.Values[v], val)
-		}
+	if !got.Values.EqualValues(want.Values) {
+		t.Fatal("RunCtx values differ from Run values")
 	}
 }
 
@@ -164,7 +153,7 @@ func TestRunWorkerCtxCancel(t *testing.T) {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() {
-		_, err := bsp.RunWorkerCtx(ctx, subs[0], &spinner{}, mem, 1<<30)
+		_, err := bsp.RunWorkerCtx(ctx, subs[0], &spinner{}, mem, bsp.Config{MaxSteps: 1 << 30})
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond)

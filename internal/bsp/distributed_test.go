@@ -111,7 +111,7 @@ func TestMultiProcessStyleRun(t *testing.T) {
 				return
 			}
 			defer tr.Close()
-			results[w], errs[w] = bsp.RunWorker(reloaded[w], &apps.CC{}, tr, 0)
+			results[w], errs[w] = bsp.RunWorker(reloaded[w], &apps.CC{}, tr, bsp.Config{})
 		}(w)
 	}
 	wg.Wait()
@@ -124,7 +124,7 @@ func TestMultiProcessStyleRun(t *testing.T) {
 	want := apps.SequentialCC(g)
 	for w := 0; w < k; w++ {
 		for local, gid := range reloaded[w].GlobalIDs {
-			if got := results[w].Values[local]; got != want[gid] {
+			if got := results[w].Values.Scalar(local); got != want[gid] {
 				t.Fatalf("worker %d: CC(%d) = %g, want %g", w, gid, got, want[gid])
 			}
 		}
@@ -142,10 +142,10 @@ func TestRunWorkerValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mem.Close()
-	if _, err := bsp.RunWorker(subs[0], &apps.CC{}, mem, 0); err == nil {
+	if _, err := bsp.RunWorker(subs[0], &apps.CC{}, mem, bsp.Config{}); err == nil {
 		t.Fatal("mismatched transport accepted")
 	}
-	if _, err := bsp.RunWorker(nil, &apps.CC{}, mem, 0); err == nil {
+	if _, err := bsp.RunWorker(nil, &apps.CC{}, mem, bsp.Config{}); err == nil {
 		t.Fatal("nil subgraph accepted")
 	}
 }

@@ -16,23 +16,51 @@ import (
 type Program interface {
 	// Name returns the application name ("CC", "PR", "SSSP").
 	Name() string
-	// NewWorker binds the program to one subgraph.
-	NewWorker(sub *Subgraph) WorkerProgram
+	// NewWorker binds the program to one subgraph under the run's
+	// execution environment (value width, batch allocator).
+	NewWorker(sub *Subgraph, env Env) WorkerProgram
+}
+
+// Env is the per-run execution environment handed to NewWorker: the
+// configured value width plus the pooled batch allocator programs draw
+// outgoing batches from.
+type Env struct {
+	// ValueWidth is the number of float64 values per vertex (>= 1).
+	ValueWidth int
+}
+
+// NewBatch returns an empty pooled outgoing batch of the run's width.
+// Batches handed to the engine via Superstep's out slice are recycled by
+// the engine/transport after delivery.
+func (e Env) NewBatch() *transport.MessageBatch {
+	return transport.GetBatch(e.ValueWidth)
+}
+
+// NewValues returns a zeroed rows×ValueWidth value matrix (the shape
+// Values must return for a subgraph with rows local vertices).
+func (e Env) NewValues(rows int) *graph.ValueMatrix {
+	return graph.NewValueMatrix(rows, e.ValueWidth)
 }
 
 // WorkerProgram is a program instance bound to one worker/subgraph.
 type WorkerProgram interface {
-	// Superstep runs the computation stage: it consumes the messages
+	// Superstep runs the computation stage: it consumes the message batch
 	// delivered at the end of the previous superstep and returns outgoing
-	// batches indexed by destination worker. Returning active=false votes
-	// to halt; the engine keeps every worker in lock-step until no worker
-	// is active and no messages were sent anywhere in the step.
+	// batches indexed by destination worker (nil entries mean no messages;
+	// out may be shorter than the worker count). Returning active=false
+	// votes to halt; the engine keeps every worker in lock-step until no
+	// worker is active and no messages were sent anywhere in the step.
 	//
-	// The in slice is reused by the engine and is only valid during the
-	// call; programs must not retain it.
-	Superstep(step int, in []transport.Message) (out [][]transport.Message, active bool)
-	// Values returns the final value of every local vertex (local index).
-	Values() []float64
+	// Ownership: in is only valid during the call — the engine recycles
+	// it afterwards, and under the poison debug mode (EBV_DEBUG, or
+	// transport.SetPoisonRecycled) retained batches are scribbled with
+	// NaNs so retention bugs fail loudly. Batches placed in out transfer
+	// to the engine; allocate them with Env.NewBatch and never reuse one
+	// across slots or steps.
+	Superstep(step int, in *transport.MessageBatch) (out []*transport.MessageBatch, active bool)
+	// Values returns the final value matrix of the local vertices: one
+	// row per local vertex (local index order), Env.ValueWidth columns.
+	Values() *graph.ValueMatrix
 }
 
 // ErrMaxSteps reports that a run hit the superstep safety cap.
@@ -48,6 +76,10 @@ type Config struct {
 	Transports []transport.Transport
 	// MaxSteps is the superstep safety cap (default 100000).
 	MaxSteps int
+	// ValueWidth is the number of float64 values carried per vertex and
+	// per message (default 1 — the paper's scalar applications). Wider
+	// runs move feature vectors through the same columnar batches.
+	ValueWidth int
 	// VerifyReplicaAgreement makes Run fail if, at termination, replicas
 	// of the same vertex disagree. Tests enable it; benches do not pay
 	// for it.
@@ -77,10 +109,33 @@ func WithTransports(ts ...transport.Transport) Option {
 	return func(c *Config) { c.Transports = ts }
 }
 
+// WithValueWidth sets the per-vertex value width (0 selects the default
+// of 1; widths < 0 fail Run with a clear error).
+func WithValueWidth(n int) Option {
+	return func(c *Config) { c.ValueWidth = n }
+}
+
 // WithReplicaVerification makes Run fail if replicas of the same vertex
 // disagree at termination.
 func WithReplicaVerification(on bool) Option {
 	return func(c *Config) { c.VerifyReplicaAgreement = on }
+}
+
+// valueWidth resolves the configured width (0 = default 1) or errors on a
+// width no transport can carry, so misconfiguration fails identically on
+// Mem and TCP instead of surfacing as frame corruption on one of them.
+func (c Config) valueWidth() (int, error) {
+	switch {
+	case c.ValueWidth == 0:
+		return 1, nil
+	case c.ValueWidth < 1:
+		return 0, fmt.Errorf("bsp: value width %d invalid: must be >= 1", c.ValueWidth)
+	case c.ValueWidth > transport.MaxValueWidth:
+		return 0, fmt.Errorf("bsp: value width %d exceeds the transport cap %d",
+			c.ValueWidth, transport.MaxValueWidth)
+	default:
+		return c.ValueWidth, nil
+	}
 }
 
 // WorkerStats records a worker's per-superstep instrumentation.
@@ -128,12 +183,35 @@ type Result struct {
 	Steps int
 	// Workers holds per-worker instrumentation, indexed by worker id.
 	Workers []WorkerStats
-	// Values maps every global vertex covered by some subgraph to its
-	// final value.
-	Values map[graph.VertexID]float64
+	// Values holds the final value rows, dense over the global vertex id
+	// space (row v = vertex v, Width = the run's ValueWidth). Rows of
+	// vertices no subgraph covers stay zero; Covered tells them apart.
+	Values *graph.ValueMatrix
+	// Covered[v] reports whether some subgraph covers vertex v (vertices
+	// with no assigned edge are uncovered and have no computed value).
+	Covered []bool
 	// WallTime is the end-to-end execution time (excluding partitioning
 	// and subgraph construction, matching the paper's methodology).
 	WallTime time.Duration
+}
+
+// Value returns vertex v's scalar value (column 0) and whether v was
+// covered by the run — the width-1 accessor matching the scalar era.
+func (r *Result) Value(v graph.VertexID) (float64, bool) {
+	row, ok := r.Row(v)
+	if !ok {
+		return 0, false
+	}
+	return row[0], true
+}
+
+// Row returns vertex v's value row (aliasing the result matrix) and
+// whether v was covered.
+func (r *Result) Row(v graph.VertexID) ([]float64, bool) {
+	if int(v) >= len(r.Covered) || !r.Covered[v] {
+		return nil, false
+	}
+	return r.Values.Row(int(v)), true
 }
 
 // Run partitions nothing: it executes prog over the given subgraphs (built
@@ -159,6 +237,10 @@ func RunCtx(ctx context.Context, subs []*Subgraph, prog Program, cfg Config) (*R
 	if maxSteps <= 0 {
 		maxSteps = 100000
 	}
+	width, err := cfg.valueWidth()
+	if err != nil {
+		return nil, err
+	}
 
 	transports, cleanup, err := resolveTransports(cfg, k)
 	if err != nil {
@@ -166,10 +248,14 @@ func RunCtx(ctx context.Context, subs []*Subgraph, prog Program, cfg Config) (*R
 	}
 	defer cleanup()
 
-	// On cancellation, unblock workers stuck in a collective exchange by
-	// closing every transport; runWorker maps the resulting transport
-	// error back to ctx.Err().
-	stopWatch := context.AfterFunc(ctx, func() {
+	// workerCtx is canceled when the caller's ctx is canceled OR when any
+	// worker fails mid-run (a bad batch, a transport fault): closing every
+	// transport is the only way to release peers blocked in a collective
+	// exchange, so a single worker's error must not deadlock the barrier.
+	// runWorker maps the induced transport errors back to ctx.Err().
+	workerCtx, failRun := context.WithCancel(ctx)
+	defer failRun()
+	stopWatch := context.AfterFunc(workerCtx, func() {
 		for _, tr := range transports {
 			_ = tr.Close()
 		}
@@ -177,7 +263,7 @@ func RunCtx(ctx context.Context, subs []*Subgraph, prog Program, cfg Config) (*R
 	defer stopWatch()
 
 	res := &Result{Workers: make([]WorkerStats, k)}
-	workerValues := make([][]float64, k)
+	workerValues := make([]*graph.ValueMatrix, k)
 	errs := make([]error, k)
 	steps := make([]int, k)
 
@@ -188,34 +274,57 @@ func RunCtx(ctx context.Context, subs []*Subgraph, prog Program, cfg Config) (*R
 		go func(w int) {
 			defer wg.Done()
 			steps[w], workerValues[w], errs[w] =
-				runWorker(ctx, w, subs[w], prog, transports[w], maxSteps, &res.Workers[w])
+				runWorker(workerCtx, w, subs[w], prog, transports[w], maxSteps, width, &res.Workers[w])
+			if errs[w] != nil {
+				failRun() // release peers blocked in the exchange
+			}
 		}(w)
 	}
 	wg.Wait()
 	res.WallTime = time.Since(start)
 
+	// Report the caller's cancellation as such; otherwise surface the
+	// first root-cause error (peers released by failRun report the induced
+	// context.Canceled, which is noise, not the cause).
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var firstErr error
 	for w := 0; w < k; w++ {
-		if errs[w] != nil {
-			return nil, fmt.Errorf("bsp: worker %d: %w", w, errs[w])
+		if errs[w] == nil {
+			continue
 		}
+		if firstErr == nil || errors.Is(firstErr, context.Canceled) && !errors.Is(errs[w], context.Canceled) {
+			firstErr = fmt.Errorf("bsp: worker %d: %w", w, errs[w])
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	res.Steps = steps[0]
 
-	res.Values = make(map[graph.VertexID]float64, subs[0].NumGlobalVertices)
+	// Assemble the global value matrix from the per-worker matrices; every
+	// replica writes its row, optionally verified against the previous
+	// replica's (a strided row compare).
+	numGlobal := subs[0].NumGlobalVertices
+	res.Values = graph.NewValueMatrix(numGlobal, width)
+	res.Covered = make([]bool, numGlobal)
 	for w := 0; w < k; w++ {
+		vals := workerValues[w]
 		for local, gid := range subs[w].GlobalIDs {
-			val := workerValues[w][local]
-			if cfg.VerifyReplicaAgreement {
-				if prev, ok := res.Values[gid]; ok && prev != val {
-					return nil, fmt.Errorf(
-						"bsp: replicas of vertex %d disagree: %g vs %g (worker %d)",
-						gid, prev, val, w)
+			row := vals.Row(local)
+			dst := res.Values.Row(int(gid))
+			if cfg.VerifyReplicaAgreement && res.Covered[gid] {
+				for j := range dst {
+					if dst[j] != row[j] {
+						return nil, fmt.Errorf(
+							"bsp: replicas of vertex %d disagree at column %d: %g vs %g (worker %d)",
+							gid, j, dst[j], row[j], w)
+					}
 				}
 			}
-			res.Values[gid] = val
+			copy(dst, row)
+			res.Covered[gid] = true
 		}
 	}
 	return res, nil
@@ -248,11 +357,19 @@ func resolveTransports(cfg Config, k int) ([]transport.Transport, func(), error)
 }
 
 // runWorker is the per-worker superstep loop. It returns the executed
-// superstep count and the final local vertex values.
+// superstep count and the final local value matrix.
 func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr transport.Transport,
-	maxSteps int, stats *WorkerStats) (int, []float64, error) {
-	wp := prog.NewWorker(sub)
-	var inbox []transport.Message
+	maxSteps, width int, stats *WorkerStats) (int, *graph.ValueMatrix, error) {
+	wp := prog.NewWorker(sub, Env{ValueWidth: width})
+	// The inbox batch concatenates the step's incoming batches; it cycles
+	// through the pool every step, so the poison debug mode scribbles it
+	// between supersteps (enforcing the "in is only valid during the
+	// call" contract) at zero steady-state allocation cost. The deferred
+	// recycle covers every return path (error paths deliberately strand
+	// any other in-flight batches to the GC — the run is over and the
+	// pool is best-effort).
+	inbox := transport.GetBatch(width)
+	defer func() { transport.RecycleBatch(inbox) }()
 	for step := 0; step < maxSteps; step++ {
 		if err := ctx.Err(); err != nil {
 			return step, nil, err
@@ -262,14 +379,20 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 		comp := time.Since(t0)
 
 		var sent int64
+		selfPending := false
 		for dst, batch := range out {
+			if err := batch.Check(width); err != nil {
+				return step, nil, fmt.Errorf("superstep %d outbox %d: %w", step, dst, err)
+			}
 			if dst != w {
-				sent += int64(len(batch))
+				sent += int64(batch.Len())
+			} else if batch.Len() > 0 {
+				selfPending = true
 			}
 		}
 		// A worker with outbound messages must stay active so receivers
 		// get a superstep to process them.
-		effectiveActive := active || sent > 0 || (len(out) > w && len(out[w]) > 0)
+		effectiveActive := active || sent > 0 || selfPending
 
 		t1 := time.Now()
 		ex, err := tr.Exchange(w, step, out, effectiveActive)
@@ -287,13 +410,23 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 			comm = 0
 		}
 
+		// Delivery loop: concatenate the incoming batches into the inbox
+		// (columnar bulk appends) and recycle them.
+		transport.RecycleBatch(inbox)
+		inbox = transport.GetBatch(width)
 		var received int64
-		inbox = inbox[:0]
 		for src, batch := range ex.In {
-			if src != w {
-				received += int64(len(batch))
+			if batch == nil {
+				continue
 			}
-			inbox = append(inbox, batch...)
+			if err := batch.Check(width); err != nil {
+				return step, nil, fmt.Errorf("superstep %d from worker %d: %w", step, src, err)
+			}
+			if src != w {
+				received += int64(batch.Len())
+			}
+			inbox.AppendBatch(batch)
+			transport.RecycleBatch(batch)
 		}
 
 		stats.Comp = append(stats.Comp, comp)
@@ -303,7 +436,18 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 		stats.Received = append(stats.Received, received)
 
 		if !ex.AnyActive {
-			return step + 1, wp.Values(), nil
+			vals := wp.Values()
+			if vals == nil {
+				return step + 1, nil, errors.New("program returned nil values")
+			}
+			if vals.Width != width {
+				return step + 1, nil, fmt.Errorf("program returned width-%d values for a width-%d run",
+					vals.Width, width)
+			}
+			if err := vals.CheckShape(sub.NumLocalVertices()); err != nil {
+				return step + 1, nil, err
+			}
+			return step + 1, vals, nil
 		}
 	}
 	return maxSteps, nil, ErrMaxSteps
@@ -314,8 +458,9 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 type WorkerResult struct {
 	// Steps is the number of supersteps executed.
 	Steps int
-	// Values holds the final value of every local vertex (local index).
-	Values []float64
+	// Values holds the final value matrix of the local vertices (one row
+	// per local index).
+	Values *graph.ValueMatrix
 	// Stats is this worker's instrumentation.
 	Stats WorkerStats
 	// WallTime is this worker's end-to-end time.
@@ -324,9 +469,11 @@ type WorkerResult struct {
 
 // RunWorker executes ONE worker of a distributed computation over the
 // given transport (typically transport.NewTCPWorker); the peer workers run
-// in other processes. It blocks until global quiescence.
-func RunWorker(sub *Subgraph, prog Program, tr transport.Transport, maxSteps int) (*WorkerResult, error) {
-	return RunWorkerCtx(context.Background(), sub, prog, tr, maxSteps)
+// in other processes. It blocks until global quiescence. Only cfg.MaxSteps
+// and cfg.ValueWidth are honored (the transport is explicit, and replica
+// verification needs the global view).
+func RunWorker(sub *Subgraph, prog Program, tr transport.Transport, cfg Config) (*WorkerResult, error) {
+	return RunWorkerCtx(context.Background(), sub, prog, tr, cfg)
 }
 
 // RunWorkerCtx is RunWorker with cancellation: ctx is polled at every
@@ -334,7 +481,7 @@ func RunWorker(sub *Subgraph, prog Program, tr transport.Transport, maxSteps int
 // blocked mid-exchange tears down immediately (its peers observe the
 // closed connections and fail their own exchanges — the distributed
 // analogue of a crashed process).
-func RunWorkerCtx(ctx context.Context, sub *Subgraph, prog Program, tr transport.Transport, maxSteps int) (*WorkerResult, error) {
+func RunWorkerCtx(ctx context.Context, sub *Subgraph, prog Program, tr transport.Transport, cfg Config) (*WorkerResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -345,15 +492,26 @@ func RunWorkerCtx(ctx context.Context, sub *Subgraph, prog Program, tr transport
 		return nil, fmt.Errorf("bsp: transport has %d workers, subgraph expects %d",
 			tr.NumWorkers(), sub.NumWorkers)
 	}
+	maxSteps := cfg.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = 100000
+	}
+	width, err := cfg.valueWidth()
+	if err != nil {
+		return nil, err
 	}
 	stopWatch := context.AfterFunc(ctx, func() { _ = tr.Close() })
 	defer stopWatch()
 	res := &WorkerResult{}
 	start := time.Now()
-	steps, values, err := runWorker(ctx, sub.Part, sub, prog, tr, maxSteps, &res.Stats)
+	steps, values, err := runWorker(ctx, sub.Part, sub, prog, tr, maxSteps, width, &res.Stats)
 	if err != nil {
+		// Mirror RunCtx's failRun: a local validation error (bad batch,
+		// mis-shaped values) leaves the transport healthy, so close it —
+		// remote peers observe the closed connections and fail their own
+		// exchanges instead of blocking forever (the crashed-process
+		// analogue this entry point documents).
+		_ = tr.Close()
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}

@@ -8,6 +8,7 @@ import (
 	"ebv/internal/apps"
 	"ebv/internal/bsp"
 	"ebv/internal/core"
+	"ebv/internal/graph"
 	"ebv/internal/transport"
 )
 
@@ -66,16 +67,21 @@ type spinner struct{}
 
 func (*spinner) Name() string { return "spin" }
 
-func (*spinner) NewWorker(sub *bsp.Subgraph) bsp.WorkerProgram { return spinWorker{sub: sub} }
+func (*spinner) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
+	return spinWorker{sub: sub, env: env}
+}
 
-type spinWorker struct{ sub *bsp.Subgraph }
+type spinWorker struct {
+	sub *bsp.Subgraph
+	env bsp.Env
+}
 
-func (w spinWorker) Superstep(step int, in []transport.Message) ([][]transport.Message, bool) {
+func (w spinWorker) Superstep(step int, in *transport.MessageBatch) ([]*transport.MessageBatch, bool) {
 	return nil, true
 }
 
-func (w spinWorker) Values() []float64 {
-	return make([]float64, w.sub.NumLocalVertices())
+func (w spinWorker) Values() *graph.ValueMatrix {
+	return w.env.NewValues(w.sub.NumLocalVertices())
 }
 
 // TestFaultInjectorPassthrough checks the injector is transparent before

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"io"
+	"sync"
+)
+
+// Block framing shared by the binary codecs: fixed-size elements move
+// through a pooled 64 KiB staging buffer instead of one syscall (or one
+// binary.Write reflection trip) per element. The graph binary format and
+// the transport's columnar message frames both encode through these two
+// functions, so they share one tested fast path.
+
+// blockBufBytes is the staging-buffer size (the PR 2 bulk-I/O unit).
+const blockBufBytes = 1 << 16
+
+var blockBufPool = sync.Pool{
+	New: func() any {
+		buf := make([]byte, blockBufBytes)
+		return &buf
+	},
+}
+
+// WriteBlocks writes n elements of elemSize bytes each to w, encoding them
+// through a pooled 64 KiB buffer: put(dst, i) must encode element i into
+// dst (len(dst) == elemSize).
+func WriteBlocks(w io.Writer, n, elemSize int, put func(dst []byte, i int)) error {
+	if n == 0 {
+		return nil
+	}
+	bufp := blockBufPool.Get().(*[]byte)
+	defer blockBufPool.Put(bufp)
+	buf := *bufp
+	perBlock := len(buf) / elemSize
+	for start := 0; start < n; start += perBlock {
+		cnt := min(perBlock, n-start)
+		for i := 0; i < cnt; i++ {
+			put(buf[i*elemSize:(i+1)*elemSize], start+i)
+		}
+		if _, err := w.Write(buf[:cnt*elemSize]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBlocks reads n elements of elemSize bytes each from r through a
+// pooled 64 KiB buffer: get(src, i) receives element i's encoded bytes.
+func ReadBlocks(r io.Reader, n, elemSize int, get func(src []byte, i int)) error {
+	if n == 0 {
+		return nil
+	}
+	bufp := blockBufPool.Get().(*[]byte)
+	defer blockBufPool.Put(bufp)
+	buf := *bufp
+	perBlock := len(buf) / elemSize
+	for start := 0; start < n; start += perBlock {
+		cnt := min(perBlock, n-start)
+		if _, err := io.ReadFull(r, buf[:cnt*elemSize]); err != nil {
+			return err
+		}
+		for i := 0; i < cnt; i++ {
+			get(buf[i*elemSize:(i+1)*elemSize], start+i)
+		}
+	}
+	return nil
+}

@@ -54,10 +54,6 @@ const (
 	// (a caller passing Parallelism(1<<20) must not trigger a TiB-sized
 	// allocation).
 	maxParseWorkers = 64
-
-	// binaryIOEdges is the number of edges moved per bulk Read/Write call
-	// on the binary format (64 KiB blocks).
-	binaryIOEdges = 8192
 )
 
 // ReadEdgeList parses a SNAP-style text edge list using all available CPUs.
@@ -387,7 +383,7 @@ func putBinaryHeader(buf []byte, g *Graph) {
 }
 
 // WriteBinary writes g in the compact binary interchange format, moving
-// edges in 64 KiB blocks.
+// edges in 64 KiB blocks (WriteBlocks).
 func WriteBinary(w io.Writer, g *Graph) error {
 	var header [24]byte
 	putBinaryHeader(header[:], g)
@@ -395,17 +391,11 @@ func WriteBinary(w io.Writer, g *Graph) error {
 		return fmt.Errorf("graph: write binary header: %w", err)
 	}
 	edges := g.Edges()
-	buf := make([]byte, binaryIOEdges*8)
-	for start := 0; start < len(edges); start += binaryIOEdges {
-		n := min(binaryIOEdges, len(edges)-start)
-		for i := 0; i < n; i++ {
-			e := edges[start+i]
-			binary.LittleEndian.PutUint32(buf[i*8:], e.Src)
-			binary.LittleEndian.PutUint32(buf[i*8+4:], e.Dst)
-		}
-		if _, err := w.Write(buf[:n*8]); err != nil {
-			return fmt.Errorf("graph: write binary edges %d..%d: %w", start, start+n, err)
-		}
+	if err := WriteBlocks(w, len(edges), 8, func(dst []byte, i int) {
+		binary.LittleEndian.PutUint32(dst[0:4], edges[i].Src)
+		binary.LittleEndian.PutUint32(dst[4:8], edges[i].Dst)
+	}); err != nil {
+		return fmt.Errorf("graph: write binary edges: %w", err)
 	}
 	return nil
 }
@@ -432,7 +422,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			numVertices, uint64(maxLoadVertexID))
 	}
 	numEdges := binary.LittleEndian.Uint64(header[16:24])
-	if numEdges > (1 << 33) {
+	// The second bound matters on 32-bit platforms, where an edge count
+	// under the wire cap can still overflow int and silently truncate.
+	if numEdges > (1<<33) || numEdges > uint64(math.MaxInt) {
 		return nil, fmt.Errorf("graph: edge count %d exceeds the loader cap", numEdges)
 	}
 	// Grow incrementally (bounded preallocation) so a truncated or
@@ -442,22 +434,13 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		prealloc = 1 << 20
 	}
 	edges := make([]Edge, 0, prealloc)
-	buf := make([]byte, binaryIOEdges*8)
-	for read := uint64(0); read < numEdges; {
-		n := uint64(binaryIOEdges)
-		if rem := numEdges - read; rem < n {
-			n = rem
-		}
-		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
-			return nil, fmt.Errorf("graph: read binary edge %d: %w", read, err)
-		}
-		for i := uint64(0); i < n; i++ {
-			edges = append(edges, Edge{
-				Src: binary.LittleEndian.Uint32(buf[i*8:]),
-				Dst: binary.LittleEndian.Uint32(buf[i*8+4:]),
-			})
-		}
-		read += n
+	if err := ReadBlocks(r, int(numEdges), 8, func(src []byte, _ int) {
+		edges = append(edges, Edge{
+			Src: binary.LittleEndian.Uint32(src[0:4]),
+			Dst: binary.LittleEndian.Uint32(src[4:8]),
+		})
+	}); err != nil {
+		return nil, fmt.Errorf("graph: read binary edges: %w", err)
 	}
 	g, err := New(int(numVertices), edges)
 	if err != nil {

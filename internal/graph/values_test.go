@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestValueMatrixShapeAndAccessors(t *testing.T) {
+	m := NewValueMatrix(4, 3)
+	if m.Rows() != 4 || m.Width != 3 || len(m.Data) != 12 {
+		t.Fatalf("shape: rows %d width %d len %d", m.Rows(), m.Width, len(m.Data))
+	}
+	m.SetRow(1, []float64{1, 2, 3})
+	m.SetScalar(2, 9)
+	if m.At(1, 2) != 3 || m.Scalar(1) != 1 || m.Scalar(2) != 9 {
+		t.Fatalf("accessors: %v", m.Data)
+	}
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] == 99 {
+		t.Fatal("Clone aliases the original")
+	}
+	if !m.EqualValues(m.Clone()) {
+		t.Fatal("EqualValues(clone) = false")
+	}
+	if m.EqualValues(c) {
+		t.Fatal("EqualValues ignored a difference")
+	}
+	if m.EqualValues(NewValueMatrix(4, 2)) {
+		t.Fatal("EqualValues ignored a width difference")
+	}
+	if err := m.CheckShape(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckShape(5); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+	if err := (&ValueMatrix{Width: 0}).CheckShape(0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	// Width < 1 constructor input normalizes to scalar.
+	if w := NewValueMatrix(2, 0).Width; w != 1 {
+		t.Fatalf("width %d", w)
+	}
+}
+
+func TestBlockIORoundTrip(t *testing.T) {
+	// Exercise multi-block paths: 3 bytes/element never divides 64 KiB
+	// evenly and 30000 elements span two blocks.
+	const n, elem = 30000, 3
+	src := make([]byte, n*elem)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	var buf bytes.Buffer
+	if err := WriteBlocks(&buf, n, elem, func(dst []byte, i int) {
+		copy(dst, src[i*elem:(i+1)*elem])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n*elem {
+		t.Fatalf("wrote %d bytes, want %d", buf.Len(), n*elem)
+	}
+	got := make([]byte, n*elem)
+	if err := ReadBlocks(&buf, n, elem, func(s []byte, i int) {
+		copy(got[i*elem:(i+1)*elem], s)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, got) {
+		t.Fatal("block round trip corrupted data")
+	}
+	// Truncated input surfaces the read error.
+	short := bytes.NewReader(make([]byte, 10))
+	if err := ReadBlocks(short, 100, 8, func([]byte, int) {}); err == nil {
+		t.Fatal("truncated read accepted")
+	}
+	// n == 0 writes nothing and reads nothing.
+	if err := WriteBlocks(&buf, 0, 8, func(dst []byte, i int) {
+		binary.LittleEndian.PutUint64(dst, 1)
+	}); err != nil || buf.Len() != 0 {
+		t.Fatalf("empty write: err %v len %d", err, buf.Len())
+	}
+}

@@ -419,3 +419,60 @@ func FuzzReadAssignmentText(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAssignmentTextRoundTrip is the write→read inversion property the
+// graph codecs got in the data-plane hardening pass: any structurally
+// valid assignment must survive the text codec exactly (same K, same
+// parts), and the reader must never panic on what the writer produced.
+func FuzzAssignmentTextRoundTrip(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 3, 1, 2, 0, 0})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(16), []byte{15, 0, 7})
+	f.Fuzz(func(t *testing.T, kRaw uint8, partsRaw []byte) {
+		k := int(kRaw%32) + 1
+		a := &Assignment{K: k, Parts: make([]int32, len(partsRaw))}
+		for i, b := range partsRaw {
+			a.Parts[i] = int32(int(b) % k)
+		}
+		var buf bytes.Buffer
+		if err := WriteAssignmentText(&buf, a); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := ReadAssignmentText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("read back own output: %v", err)
+		}
+		if got.K != a.K || len(got.Parts) != len(a.Parts) {
+			t.Fatalf("round trip: K %d→%d, %d→%d parts", a.K, got.K, len(a.Parts), len(got.Parts))
+		}
+		for i := range a.Parts {
+			if got.Parts[i] != a.Parts[i] {
+				t.Fatalf("entry %d: %d != %d", i, got.Parts[i], a.Parts[i])
+			}
+		}
+	})
+}
+
+// TestWriteAssignmentTextPropagatesWriteErrors mirrors the WriteEdgeList
+// hardening: a failing writer must surface the error, not be swallowed by
+// buffering.
+func TestWriteAssignmentTextPropagatesWriteErrors(t *testing.T) {
+	a := &Assignment{K: 2, Parts: make([]int32, 100000)}
+	w := &failingWriter{failAfter: 10}
+	if err := WriteAssignmentText(w, a); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+type failingWriter struct {
+	n         int
+	failAfter int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > w.failAfter {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}

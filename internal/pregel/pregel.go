@@ -8,6 +8,11 @@
 // Vertices are assigned to workers by an ownership vector (hash by
 // default); messages to remote vertices are combined per destination at the
 // sender (the standard Pregel combiner optimization) and counted.
+//
+// Values and messages are width-aware rows, mirroring the subgraph-centric
+// engine's columnar value plane: a run's Config.ValueWidth fixes the
+// float64 row width (1 for the paper's scalar comparators), values live in
+// a graph.ValueMatrix, and the combined inboxes are flat strided columns.
 package pregel
 
 import (
@@ -20,22 +25,26 @@ import (
 	"ebv/internal/graph"
 )
 
-// VertexProgram defines a vertex-centric computation.
+// VertexProgram defines a vertex-centric computation over value rows of
+// the run's width.
 type VertexProgram interface {
 	// Name returns the application name.
 	Name() string
-	// InitialValue returns vertex v's starting value.
-	InitialValue(v graph.VertexID, g *graph.Graph) float64
+	// InitValue fills vertex v's starting value row.
+	InitValue(v graph.VertexID, g *graph.Graph, value []float64)
 	// InitiallyActive reports whether v computes in superstep 0.
 	InitiallyActive(v graph.VertexID) bool
-	// Combine merges two messages addressed to the same vertex.
-	Combine(a, b float64) float64
+	// Combine merges message row src into dst (both addressed to the same
+	// vertex).
+	Combine(dst, src []float64)
 	// Compute processes one active-or-messaged vertex: it receives the
-	// combined incoming message (hasMsg reports presence) and returns the
-	// new value plus whether to broadcast to neighbors.
-	Compute(step int, v graph.VertexID, value, msg float64, hasMsg bool) (newValue float64, broadcast bool)
-	// EdgeMessage is the value sent along one edge when v broadcasts.
-	EdgeMessage(v graph.VertexID, newValue float64, globalOutDeg int) float64
+	// vertex's value row (to update in place) and the combined incoming
+	// message row (hasMsg reports presence), and reports whether to
+	// broadcast to neighbors.
+	Compute(step int, v graph.VertexID, value, msg []float64, hasMsg bool) (broadcast bool)
+	// EdgeMessage fills msg with the row sent along one edge when v
+	// broadcasts.
+	EdgeMessage(v graph.VertexID, value []float64, globalOutDeg int, msg []float64)
 	// TraverseUndirected reports whether broadcasts follow in-edges too
 	// (CC does; SSSP and PR follow out-edges only).
 	TraverseUndirected() bool
@@ -46,8 +55,9 @@ type VertexProgram interface {
 
 // Result is the outcome of a vertex-centric run.
 type Result struct {
-	Steps    int
-	Values   []float64
+	Steps int
+	// Values holds every vertex's final value row (row v = vertex v).
+	Values   *graph.ValueMatrix
 	WallTime time.Duration
 	// CompPerWorker[w] is worker w's total computation time.
 	CompPerWorker []time.Duration
@@ -89,6 +99,9 @@ type Config struct {
 	Owners []int32
 	// MaxSteps is the superstep safety cap (default 100000).
 	MaxSteps int
+	// ValueWidth is the float64 row width of values and messages
+	// (default 1).
+	ValueWidth int
 }
 
 // ErrMaxSteps reports that a run hit the superstep safety cap.
@@ -107,6 +120,13 @@ func RunCtx(ctx context.Context, g *graph.Graph, k int, prog VertexProgram, cfg 
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("pregel: need at least one worker, got %d", k)
+	}
+	width := cfg.ValueWidth
+	if width == 0 {
+		width = 1
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("pregel: value width %d invalid: must be >= 1", cfg.ValueWidth)
 	}
 	n := g.NumVertices()
 	owners := cfg.Owners
@@ -136,25 +156,26 @@ func RunCtx(ctx context.Context, g *graph.Graph, k int, prog VertexProgram, cfg 
 		owned[w] = append(owned[w], graph.VertexID(v))
 	}
 
-	values := make([]float64, n)
+	values := graph.NewValueMatrix(n, width)
 	active := make([]bool, n)
 	for v := 0; v < n; v++ {
-		values[v] = prog.InitialValue(graph.VertexID(v), g)
+		prog.InitValue(graph.VertexID(v), g, values.Row(v))
 		active[v] = prog.InitiallyActive(graph.VertexID(v))
 	}
 
-	// Double-buffered combined inboxes.
-	curMsg := make([]float64, n)
+	// Double-buffered combined inboxes: strided width-column rows plus a
+	// presence flag per vertex.
+	curMsg := graph.NewValueMatrix(n, width)
 	curHas := make([]bool, n)
-	nextMsg := make([]float64, n)
+	nextMsg := graph.NewValueMatrix(n, width)
 	nextHas := make([]bool, n)
 
 	// Per-worker scratch outboxes (combined per destination vertex) to
 	// avoid write contention; merged between supersteps.
-	scratchMsg := make([][]float64, k)
+	scratchMsg := make([]*graph.ValueMatrix, k)
 	scratchHas := make([][]bool, k)
 	for w := 0; w < k; w++ {
-		scratchMsg[w] = make([]float64, n)
+		scratchMsg[w] = graph.NewValueMatrix(n, width)
 		scratchHas[w] = make([]bool, n)
 	}
 
@@ -178,10 +199,7 @@ func RunCtx(ctx context.Context, g *graph.Graph, k int, prog VertexProgram, cfg 
 				anyWork = true
 			}
 		}
-		if fixed == 0 && !anyWork && step > 0 {
-			break
-		}
-		if fixed == 0 && !anyWork && step == 0 {
+		if fixed == 0 && !anyWork {
 			break
 		}
 
@@ -192,32 +210,33 @@ func RunCtx(ctx context.Context, g *graph.Graph, k int, prog VertexProgram, cfg 
 				defer wg.Done()
 				t0 := time.Now()
 				myMsg, myHas := scratchMsg[w], scratchHas[w]
+				mv := make([]float64, width)
 				for _, v := range owned[w] {
 					runVertex := fixed > 0 || active[v] || curHas[v]
 					if !runVertex {
 						continue
 					}
-					newVal, broadcast := prog.Compute(step, v, values[v], curMsg[v], curHas[v])
-					values[v] = newVal
+					broadcast := prog.Compute(step, v, values.Row(int(v)), curMsg.Row(int(v)), curHas[v])
 					active[v] = false
 					if !broadcast {
 						continue
 					}
-					deliver := func(dst graph.VertexID, mv float64) {
+					deliver := func(dst graph.VertexID) {
+						row := myMsg.Row(int(dst))
 						if myHas[dst] {
-							myMsg[dst] = prog.Combine(myMsg[dst], mv)
+							prog.Combine(row, mv)
 						} else {
-							myMsg[dst] = mv
+							copy(row, mv)
 							myHas[dst] = true
 						}
 					}
-					mv := prog.EdgeMessage(v, newVal, out.Degree(v))
+					prog.EdgeMessage(v, values.Row(int(v)), out.Degree(v), mv)
 					for _, dst := range out.Neighbors(v) {
-						deliver(dst, mv)
+						deliver(dst)
 					}
 					if in != nil {
 						for _, dst := range in.Neighbors(v) {
-							deliver(dst, mv)
+							deliver(dst)
 						}
 					}
 				}
@@ -241,9 +260,9 @@ func RunCtx(ctx context.Context, g *graph.Graph, k int, prog VertexProgram, cfg 
 					res.SentPerWorker[w]++
 				}
 				if nextHas[v] {
-					nextMsg[v] = prog.Combine(nextMsg[v], myMsg[v])
+					prog.Combine(nextMsg.Row(v), myMsg.Row(v))
 				} else {
-					nextMsg[v] = myMsg[v]
+					copy(nextMsg.Row(v), myMsg.Row(v))
 					nextHas[v] = true
 				}
 			}

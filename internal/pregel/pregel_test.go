@@ -29,8 +29,8 @@ func TestCCMatchesSequential(t *testing.T) {
 			t.Fatalf("k=%d: %v", k, err)
 		}
 		for v := range want {
-			if res.Values[v] != want[v] {
-				t.Fatalf("k=%d: CC(%d) = %g, want %g", k, v, res.Values[v], want[v])
+			if res.Values.Scalar(v) != want[v] {
+				t.Fatalf("k=%d: CC(%d) = %g, want %g", k, v, res.Values.Scalar(v), want[v])
 			}
 		}
 	}
@@ -44,7 +44,7 @@ func TestSSSPMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := range want {
-		got := res.Values[v]
+		got := res.Values.Scalar(v)
 		if got != want[v] && !(math.IsInf(got, 1) && math.IsInf(want[v], 1)) {
 			t.Fatalf("dist(%d) = %g, want %g", v, got, want[v])
 		}
@@ -60,8 +60,8 @@ func TestPageRankMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := range want {
-		if math.Abs(res.Values[v]-want[v]) > 1e-9 {
-			t.Fatalf("PR(%d) = %.12g, want %.12g", v, res.Values[v], want[v])
+		if math.Abs(res.Values.Scalar(v)-want[v]) > 1e-9 {
+			t.Fatalf("PR(%d) = %.12g, want %.12g", v, res.Values.Scalar(v), want[v])
 		}
 	}
 }
@@ -98,7 +98,7 @@ func TestCustomOwners(t *testing.T) {
 	}
 	want := apps.SequentialCC(g)
 	for v := range want {
-		if res.Values[v] != want[v] {
+		if res.Values.Scalar(v) != want[v] {
 			t.Fatalf("CC(%d) mismatch under custom owners", v)
 		}
 	}
@@ -123,7 +123,7 @@ func TestEmptyGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Values) != 0 {
+	if res.Values.Rows() != 0 {
 		t.Fatal("values for empty graph")
 	}
 }
@@ -150,7 +150,7 @@ func TestSSSPOnRoadGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := range want {
-		got := res.Values[v]
+		got := res.Values.Scalar(v)
 		if got != want[v] && !(math.IsInf(got, 1) && math.IsInf(want[v], 1)) {
 			t.Fatalf("dist(%d) = %g, want %g", v, got, want[v])
 		}
@@ -176,12 +176,12 @@ func TestPageRankDanglingMass(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := range want {
-		if math.Abs(res.Values[v]-want[v]) > 1e-12 {
-			t.Fatalf("PR(%d) = %g, want %g", v, res.Values[v], want[v])
+		if math.Abs(res.Values.Scalar(v)-want[v]) > 1e-12 {
+			t.Fatalf("PR(%d) = %g, want %g", v, res.Values.Scalar(v), want[v])
 		}
 	}
 	var sum float64
-	for _, r := range res.Values {
+	for _, r := range res.Values.Data {
 		sum += r
 	}
 	if sum >= 1 {

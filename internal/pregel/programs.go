@@ -6,6 +6,9 @@ import (
 	"ebv/internal/graph"
 )
 
+// The three comparator programs are scalar: they use column 0 of the value
+// row and leave any extra columns of a wider run untouched (zero).
+
 // CC is the vertex-centric connected-components program: min-label
 // propagation over undirected adjacency.
 type CC struct{}
@@ -15,28 +18,29 @@ var _ VertexProgram = (*CC)(nil)
 // Name implements VertexProgram.
 func (*CC) Name() string { return "CC" }
 
-// InitialValue implements VertexProgram.
-func (*CC) InitialValue(v graph.VertexID, _ *graph.Graph) float64 { return float64(v) }
+// InitValue implements VertexProgram.
+func (*CC) InitValue(v graph.VertexID, _ *graph.Graph, value []float64) { value[0] = float64(v) }
 
 // InitiallyActive implements VertexProgram.
 func (*CC) InitiallyActive(graph.VertexID) bool { return true }
 
 // Combine implements VertexProgram.
-func (*CC) Combine(a, b float64) float64 { return math.Min(a, b) }
+func (*CC) Combine(dst, src []float64) { dst[0] = math.Min(dst[0], src[0]) }
 
 // Compute implements VertexProgram.
-func (*CC) Compute(step int, _ graph.VertexID, value, msg float64, hasMsg bool) (float64, bool) {
+func (*CC) Compute(step int, _ graph.VertexID, value, msg []float64, hasMsg bool) bool {
 	if step == 0 {
-		return value, true // announce own label
+		return true // announce own label
 	}
-	if hasMsg && msg < value {
-		return msg, true
+	if hasMsg && msg[0] < value[0] {
+		value[0] = msg[0]
+		return true
 	}
-	return value, false
+	return false
 }
 
 // EdgeMessage implements VertexProgram.
-func (*CC) EdgeMessage(_ graph.VertexID, newValue float64, _ int) float64 { return newValue }
+func (*CC) EdgeMessage(_ graph.VertexID, value []float64, _ int, msg []float64) { msg[0] = value[0] }
 
 // TraverseUndirected implements VertexProgram.
 func (*CC) TraverseUndirected() bool { return true }
@@ -54,33 +58,37 @@ var _ VertexProgram = (*SSSP)(nil)
 // Name implements VertexProgram.
 func (*SSSP) Name() string { return "SSSP" }
 
-// InitialValue implements VertexProgram.
-func (s *SSSP) InitialValue(v graph.VertexID, _ *graph.Graph) float64 {
+// InitValue implements VertexProgram.
+func (s *SSSP) InitValue(v graph.VertexID, _ *graph.Graph, value []float64) {
 	if v == s.Source {
-		return 0
+		value[0] = 0
+		return
 	}
-	return math.Inf(1)
+	value[0] = math.Inf(1)
 }
 
 // InitiallyActive implements VertexProgram.
 func (s *SSSP) InitiallyActive(v graph.VertexID) bool { return v == s.Source }
 
 // Combine implements VertexProgram.
-func (*SSSP) Combine(a, b float64) float64 { return math.Min(a, b) }
+func (*SSSP) Combine(dst, src []float64) { dst[0] = math.Min(dst[0], src[0]) }
 
 // Compute implements VertexProgram.
-func (*SSSP) Compute(step int, _ graph.VertexID, value, msg float64, hasMsg bool) (float64, bool) {
-	if step == 0 && value == 0 {
-		return value, true // source announces
+func (*SSSP) Compute(step int, _ graph.VertexID, value, msg []float64, hasMsg bool) bool {
+	if step == 0 && value[0] == 0 {
+		return true // source announces
 	}
-	if hasMsg && msg < value {
-		return msg, true
+	if hasMsg && msg[0] < value[0] {
+		value[0] = msg[0]
+		return true
 	}
-	return value, false
+	return false
 }
 
 // EdgeMessage implements VertexProgram.
-func (*SSSP) EdgeMessage(_ graph.VertexID, newValue float64, _ int) float64 { return newValue + 1 }
+func (*SSSP) EdgeMessage(_ graph.VertexID, value []float64, _ int, msg []float64) {
+	msg[0] = value[0] + 1
+}
 
 // TraverseUndirected implements VertexProgram.
 func (*SSSP) TraverseUndirected() bool { return false }
@@ -108,39 +116,40 @@ func (p *PageRank) damping() float64 {
 	return p.Damping
 }
 
-// InitialValue implements VertexProgram.
-func (p *PageRank) InitialValue(_ graph.VertexID, g *graph.Graph) float64 {
+// InitValue implements VertexProgram.
+func (p *PageRank) InitValue(_ graph.VertexID, g *graph.Graph, value []float64) {
 	p.numVert = g.NumVertices()
-	return 1 / float64(g.NumVertices())
+	value[0] = 1 / float64(g.NumVertices())
 }
 
 // InitiallyActive implements VertexProgram.
 func (*PageRank) InitiallyActive(graph.VertexID) bool { return true }
 
 // Combine implements VertexProgram.
-func (*PageRank) Combine(a, b float64) float64 { return a + b }
+func (*PageRank) Combine(dst, src []float64) { dst[0] += src[0] }
 
 // Compute implements VertexProgram.
-func (p *PageRank) Compute(step int, _ graph.VertexID, value, msg float64, hasMsg bool) (float64, bool) {
+func (p *PageRank) Compute(step int, _ graph.VertexID, value, msg []float64, hasMsg bool) bool {
 	d := p.damping()
 	if step == 0 {
 		// Superstep 0 only seeds the first round of contributions.
-		return value, true
+		return true
 	}
 	sum := 0.0
 	if hasMsg {
-		sum = msg
+		sum = msg[0]
 	}
-	newValue := (1-d)/float64(p.numVert) + d*sum
-	return newValue, true
+	value[0] = (1-d)/float64(p.numVert) + d*sum
+	return true
 }
 
 // EdgeMessage implements VertexProgram.
-func (p *PageRank) EdgeMessage(_ graph.VertexID, newValue float64, outDeg int) float64 {
+func (p *PageRank) EdgeMessage(_ graph.VertexID, value []float64, outDeg int, msg []float64) {
 	if outDeg == 0 {
-		return 0
+		msg[0] = 0
+		return
 	}
-	return newValue / float64(outDeg)
+	msg[0] = value[0] / float64(outDeg)
 }
 
 // TraverseUndirected implements VertexProgram.

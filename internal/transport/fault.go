@@ -33,7 +33,7 @@ var _ Transport = (*FaultInjector)(nil)
 func (f *FaultInjector) NumWorkers() int { return f.Inner.NumWorkers() }
 
 // Exchange implements Transport.
-func (f *FaultInjector) Exchange(worker, step int, out [][]Message, active bool) (ExchangeResult, error) {
+func (f *FaultInjector) Exchange(worker, step int, out []*MessageBatch, active bool) (ExchangeResult, error) {
 	if worker == f.FailWorker && step == f.FailStep && !f.fired.Swap(true) {
 		if f.CloseOnFail {
 			_ = f.Inner.Close()

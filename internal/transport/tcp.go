@@ -1,12 +1,14 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"net"
+	"slices"
 	"sync"
 
 	"ebv/internal/graph"
@@ -18,18 +20,39 @@ import (
 // without sequence tracking (the step number is still carried and checked
 // defensively).
 //
-// Frame layout (little endian):
+// Frame layout (little endian), version 2 — the columnar format:
 //
-//	u32 step | u8 active | u32 count | count × (u32 vertex, f64 value)
+//	u32 magic "EBVM" | u32 step | u8 active | u32 width | u32 count |
+//	u32 idBytes  | count × u32 vertex id        (64 KiB blocks)
+//	u32 valBytes | count·width × f64 value      (64 KiB blocks)
+//
+// The ID and value columns are length-prefixed and move through the PR 2
+// block reader/writer (graph.WriteBlocks/ReadBlocks). The magic word is
+// the cross-version guard: a peer still speaking the pre-columnar scalar
+// format (whose first field was the raw step number) fails the magic check
+// immediately instead of desynchronizing the stream.
 type TCP struct {
 	worker int
 	k      int
 	conns  []net.Conn // conns[peer]; nil at index == worker
+	bufw   []*bufio.Writer
+	bufr   []*bufio.Reader
 	mu     sync.Mutex
 	closed bool
 }
 
 var _ Transport = (*TCP)(nil)
+
+// newTCP allocates a TCP transport shell with empty connection slots.
+func newTCP(worker, k int) *TCP {
+	return &TCP{
+		worker: worker,
+		k:      k,
+		conns:  make([]net.Conn, k),
+		bufw:   make([]*bufio.Writer, k),
+		bufr:   make([]*bufio.Reader, k),
+	}
+}
 
 // NewTCPMesh constructs k TCP transports connected in a full mesh over the
 // loopback interface. It is the single-process entry point used by tests,
@@ -62,7 +85,7 @@ func NewTCPMeshCtx(ctx context.Context, k int) ([]*TCP, error) {
 	}
 	ts := make([]*TCP, k)
 	for i := range ts {
-		ts[i] = &TCP{worker: i, k: k, conns: make([]net.Conn, k)}
+		ts[i] = newTCP(i, k)
 	}
 
 	// Cancellation mid-wiring: closing the listeners aborts blocked
@@ -164,8 +187,26 @@ func closeAll(listeners []net.Listener) {
 // NumWorkers implements Transport.
 func (t *TCP) NumWorkers() int { return t.k }
 
+// writerTo returns the buffered writer for peer, created on first use
+// (each peer's writer is only touched by that peer's write goroutine).
+func (t *TCP) writerTo(peer int) *bufio.Writer {
+	if t.bufw[peer] == nil {
+		t.bufw[peer] = bufio.NewWriterSize(t.conns[peer], 1<<16)
+	}
+	return t.bufw[peer]
+}
+
+// readerFrom returns the buffered reader for peer, created on first use
+// (reads are sequential on the Exchange goroutine).
+func (t *TCP) readerFrom(peer int) *bufio.Reader {
+	if t.bufr[peer] == nil {
+		t.bufr[peer] = bufio.NewReaderSize(t.conns[peer], 1<<16)
+	}
+	return t.bufr[peer]
+}
+
 // Exchange implements Transport.
-func (t *TCP) Exchange(worker, step int, out [][]Message, active bool) (ExchangeResult, error) {
+func (t *TCP) Exchange(worker, step int, out []*MessageBatch, active bool) (ExchangeResult, error) {
 	if worker != t.worker {
 		return ExchangeResult{}, fmt.Errorf("transport: tcp instance owns worker %d, called as %d",
 			t.worker, worker)
@@ -177,7 +218,7 @@ func (t *TCP) Exchange(worker, step int, out [][]Message, active bool) (Exchange
 	}
 	t.mu.Unlock()
 
-	res := ExchangeResult{In: make([][]Message, t.k), AnyActive: active}
+	res := ExchangeResult{In: make([]*MessageBatch, t.k), AnyActive: active}
 	if worker < len(out) {
 		res.In[worker] = out[worker] // self-delivery without the network
 	}
@@ -190,14 +231,14 @@ func (t *TCP) Exchange(worker, step int, out [][]Message, active bool) (Exchange
 		if peer == worker {
 			continue
 		}
-		var batch []Message
+		var batch *MessageBatch
 		if peer < len(out) {
 			batch = out[peer]
 		}
 		wg.Add(1)
-		go func(peer int, batch []Message) {
+		go func(peer int, batch *MessageBatch) {
 			defer wg.Done()
-			if err := writeFrame(t.conns[peer], step, active, batch); err != nil {
+			if err := writeFrame(t.writerTo(peer), step, active, batch); err != nil {
 				errCh <- fmt.Errorf("transport: write to %d: %w", peer, err)
 			}
 		}(peer, batch)
@@ -210,7 +251,7 @@ func (t *TCP) Exchange(worker, step int, out [][]Message, active bool) (Exchange
 		if peer == worker {
 			continue
 		}
-		gotStep, peerActive, batch, err := readFrame(t.conns[peer])
+		gotStep, peerActive, batch, err := readFrame(t.readerFrom(peer))
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("transport: read from %d: %w", peer, err)
@@ -233,6 +274,13 @@ func (t *TCP) Exchange(worker, step int, out [][]Message, active bool) (Exchange
 		for err := range errCh {
 			firstErr = err
 			break
+		}
+	}
+	// Frames are on the wire (or abandoned): the outgoing batches are ours
+	// to recycle. The self slot stays alive — it was handed back in In.
+	for peer := 0; peer < t.k && peer < len(out); peer++ {
+		if peer != worker {
+			RecycleBatch(out[peer])
 		}
 	}
 	if firstErr != nil {
@@ -260,49 +308,126 @@ func (t *TCP) Close() error {
 	return nil
 }
 
-const msgWire = 12 // u32 vertex + f64 value
+const (
+	// frameMagic marks a columnar (version 2) message frame. The
+	// pre-columnar format began with the raw step number, so any legacy
+	// peer fails the magic comparison on the first frame.
+	frameMagic = 0x4542564D // "EBVM"
 
-func writeFrame(conn net.Conn, step int, active bool, batch []Message) error {
-	header := make([]byte, 9)
-	binary.LittleEndian.PutUint32(header[0:4], uint32(step))
+	frameHeaderBytes = 17 // magic + step + active + width + count
+
+	// maxWireWidth and maxWireMessages bound what a frame header may
+	// claim, so a corrupt or hostile peer cannot force a giant
+	// allocation. The product bound caps the value column at 2 GiB —
+	// comfortably inside the u32 byte-length prefix (2^28 values × 8
+	// bytes = 2^31). writeFrame enforces the same bounds, so an
+	// oversized batch fails with a clear local error instead of a
+	// corrupt-frame error at the receiver.
+	maxWireWidth    = MaxValueWidth
+	maxWireMessages = 1 << 28
+	maxWireValues   = 1 << 28
+)
+
+// writeFrame encodes one columnar frame into bw and flushes it. A nil or
+// empty batch writes an empty frame (count 0, no columns).
+func writeFrame(bw *bufio.Writer, step int, active bool, batch *MessageBatch) error {
+	var header [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(header[0:4], frameMagic)
+	binary.LittleEndian.PutUint32(header[4:8], uint32(step))
 	if active {
-		header[4] = 1
+		header[8] = 1
 	}
-	binary.LittleEndian.PutUint32(header[5:9], uint32(len(batch)))
-	buf := make([]byte, 0, len(header)+len(batch)*msgWire)
-	buf = append(buf, header...)
-	var scratch [msgWire]byte
-	for _, m := range batch {
-		binary.LittleEndian.PutUint32(scratch[0:4], uint32(m.Vertex))
-		binary.LittleEndian.PutUint64(scratch[4:12], math.Float64bits(m.Value))
-		buf = append(buf, scratch[:]...)
+	width, count := 0, 0
+	if batch != nil {
+		width, count = batch.Width, batch.Len()
 	}
-	_, err := conn.Write(buf)
-	return err
+	if count > maxWireMessages || count*width > maxWireValues {
+		return fmt.Errorf("batch of %d messages × width %d exceeds the wire cap (%d messages, %d values)",
+			count, width, maxWireMessages, maxWireValues)
+	}
+	binary.LittleEndian.PutUint32(header[9:13], uint32(width))
+	binary.LittleEndian.PutUint32(header[13:17], uint32(count))
+	if _, err := bw.Write(header[:]); err != nil {
+		return err
+	}
+	if count > 0 {
+		var prefix [4]byte
+		binary.LittleEndian.PutUint32(prefix[:], uint32(count*4))
+		if _, err := bw.Write(prefix[:]); err != nil {
+			return err
+		}
+		if err := graph.WriteBlocks(bw, count, 4, func(dst []byte, i int) {
+			binary.LittleEndian.PutUint32(dst, batch.IDs[i])
+		}); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(prefix[:], uint32(count*width*8))
+		if _, err := bw.Write(prefix[:]); err != nil {
+			return err
+		}
+		if err := graph.WriteBlocks(bw, count*width, 8, func(dst []byte, i int) {
+			binary.LittleEndian.PutUint64(dst, math.Float64bits(batch.Vals[i]))
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
-func readFrame(conn net.Conn) (step int, active bool, batch []Message, err error) {
-	var header [9]byte
-	if _, err = io.ReadFull(conn, header[:]); err != nil {
+// readFrame decodes one columnar frame. A non-empty frame returns a pooled
+// batch owned by the caller.
+func readFrame(br *bufio.Reader) (step int, active bool, batch *MessageBatch, err error) {
+	var header [frameHeaderBytes]byte
+	if _, err = io.ReadFull(br, header[:]); err != nil {
 		return 0, false, nil, err
 	}
-	step = int(binary.LittleEndian.Uint32(header[0:4]))
-	active = header[4] == 1
-	count := int(binary.LittleEndian.Uint32(header[5:9]))
+	if magic := binary.LittleEndian.Uint32(header[0:4]); magic != frameMagic {
+		return 0, false, nil, fmt.Errorf(
+			"bad frame magic %#x (peer speaking the pre-columnar wire format?)", magic)
+	}
+	step = int(binary.LittleEndian.Uint32(header[4:8]))
+	active = header[8] == 1
+	width := int(binary.LittleEndian.Uint32(header[9:13]))
+	count := int(binary.LittleEndian.Uint32(header[13:17]))
 	if count == 0 {
 		return step, active, nil, nil
 	}
-	payload := make([]byte, count*msgWire)
-	if _, err = io.ReadFull(conn, payload); err != nil {
+	if width < 1 || width > maxWireWidth {
+		return 0, false, nil, fmt.Errorf("frame width %d out of range [1,%d]", width, maxWireWidth)
+	}
+	if count < 0 || count > maxWireMessages || count*width > maxWireValues {
+		return 0, false, nil, fmt.Errorf("frame of %d messages × width %d exceeds the wire cap",
+			count, width)
+	}
+	var prefix [4]byte
+	if _, err = io.ReadFull(br, prefix[:]); err != nil {
 		return 0, false, nil, err
 	}
-	batch = make([]Message, count)
-	for i := range batch {
-		off := i * msgWire
-		batch[i] = Message{
-			Vertex: graph.VertexID(binary.LittleEndian.Uint32(payload[off : off+4])),
-			Value:  math.Float64frombits(binary.LittleEndian.Uint64(payload[off+4 : off+12])),
-		}
+	if got := int(binary.LittleEndian.Uint32(prefix[:])); got != count*4 {
+		return 0, false, nil, fmt.Errorf("id column is %d bytes, want %d", got, count*4)
 	}
-	return step, active, batch, nil
+	b := GetBatch(width)
+	b.IDs = slices.Grow(b.IDs, count)[:count]
+	b.Vals = slices.Grow(b.Vals, count*width)[:count*width]
+	if err = graph.ReadBlocks(br, count, 4, func(src []byte, i int) {
+		b.IDs[i] = binary.LittleEndian.Uint32(src)
+	}); err != nil {
+		RecycleBatch(b)
+		return 0, false, nil, err
+	}
+	if _, err = io.ReadFull(br, prefix[:]); err != nil {
+		RecycleBatch(b)
+		return 0, false, nil, err
+	}
+	if got := int(binary.LittleEndian.Uint32(prefix[:])); got != count*width*8 {
+		RecycleBatch(b)
+		return 0, false, nil, fmt.Errorf("value column is %d bytes, want %d", got, count*width*8)
+	}
+	if err = graph.ReadBlocks(br, count*width, 8, func(src []byte, i int) {
+		b.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(src))
+	}); err != nil {
+		RecycleBatch(b)
+		return 0, false, nil, err
+	}
+	return step, active, b, nil
 }

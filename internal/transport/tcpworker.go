@@ -37,7 +37,7 @@ func NewTCPWorkerCtx(ctx context.Context, worker int, addrs []string, dialTimeou
 	if dialTimeout <= 0 {
 		dialTimeout = 30 * time.Second
 	}
-	t := &TCP{worker: worker, k: k, conns: make([]net.Conn, k)}
+	t := newTCP(worker, k)
 	if k == 1 {
 		return t, nil
 	}

@@ -1,10 +1,17 @@
-// Package transport moves replica-synchronization messages between BSP
-// workers. Two implementations share one collective-exchange interface: an
-// in-memory router (the default for experiments — the paper's
-// platform-independent metric is the message *count*, which is identical on
-// any transport) and a real TCP transport (length-prefixed binary frames
-// over a full mesh of loopback or remote connections) demonstrating that
-// the engine runs distributed.
+// Package transport moves replica-synchronization message batches between
+// BSP workers. Two implementations share one collective-exchange
+// interface: an in-memory router (the default for experiments — the
+// paper's platform-independent metric is the message *count*, which is
+// identical on any transport) and a real TCP transport (length-prefixed
+// columnar frames over a full mesh of loopback or remote connections)
+// demonstrating that the engine runs distributed.
+//
+// The message plane is columnar: a MessageBatch carries the vertex-id and
+// value columns of every message for one destination, with a configurable
+// per-message value width (see MessageBatch). Batches are pooled
+// (GetBatch/RecycleBatch); ownership moves with them — a batch handed to
+// Exchange belongs to the transport afterwards, and a batch returned by
+// Exchange belongs to the caller, who recycles it after consuming it.
 package transport
 
 import (
@@ -12,22 +19,16 @@ import (
 	"fmt"
 	"sync"
 	"time"
-
-	"ebv/internal/graph"
 )
-
-// Message carries one vertex value between replicas of that vertex.
-type Message struct {
-	Vertex graph.VertexID
-	Value  float64
-}
 
 // ExchangeResult reports what a collective exchange delivered.
 type ExchangeResult struct {
-	// In holds the messages delivered to the calling worker, grouped by
-	// source worker (index = source id; the self slot is the worker's own
-	// out[self] batch, delivered without touching the network).
-	In [][]Message
+	// In holds the batches delivered to the calling worker, indexed by
+	// source worker (nil = no messages from that worker; the self slot is
+	// the worker's own out[self] batch, delivered without touching the
+	// network). The caller owns the batches and recycles them after
+	// consuming their contents.
+	In []*MessageBatch
 	// AnyActive is the OR of every worker's active flag for this step; it
 	// is identical at all workers, giving a consistent halting decision.
 	AnyActive bool
@@ -45,9 +46,11 @@ type Transport interface {
 	// NumWorkers returns the number of participating workers.
 	NumWorkers() int
 	// Exchange sends out[i] to worker i (out may be shorter than the
-	// worker count; missing/nil entries mean no messages) and returns
-	// everything addressed to the calling worker.
-	Exchange(worker, step int, out [][]Message, active bool) (ExchangeResult, error)
+	// worker count; nil entries mean no messages) and returns everything
+	// addressed to the calling worker. The transport takes ownership of
+	// the batches in out: they must be distinct (no batch may appear in
+	// two slots) and must not be used after the call.
+	Exchange(worker, step int, out []*MessageBatch, active bool) (ExchangeResult, error)
 	// Close releases transport resources. Exchange must not be called
 	// after Close.
 	Close() error
@@ -58,7 +61,8 @@ var ErrClosed = errors.New("transport: closed")
 
 // Mem is the in-memory Transport: a k×k mailbox matrix with a cyclic
 // barrier. It is allocation-light and deterministic, and is the transport
-// used by the benchmark harness.
+// used by the benchmark harness. Batches cross worker goroutines by
+// pointer — no copy, no encode.
 type Mem struct {
 	k       int
 	mu      sync.Mutex
@@ -66,7 +70,7 @@ type Mem struct {
 	arrived int
 	phase   int // generation counter of the barrier
 	closed  bool
-	mailbox [][][]Message // mailbox[src][dst]
+	mailbox [][]*MessageBatch // mailbox[src][dst]
 	actives []bool
 	anyAct  bool
 }
@@ -80,11 +84,11 @@ func NewMem(k int) (*Mem, error) {
 	}
 	m := &Mem{
 		k:       k,
-		mailbox: make([][][]Message, k),
+		mailbox: make([][]*MessageBatch, k),
 		actives: make([]bool, k),
 	}
 	for i := range m.mailbox {
-		m.mailbox[i] = make([][]Message, k)
+		m.mailbox[i] = make([]*MessageBatch, k)
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m, nil
@@ -94,7 +98,7 @@ func NewMem(k int) (*Mem, error) {
 func (m *Mem) NumWorkers() int { return m.k }
 
 // Exchange implements Transport.
-func (m *Mem) Exchange(worker, step int, out [][]Message, active bool) (ExchangeResult, error) {
+func (m *Mem) Exchange(worker, step int, out []*MessageBatch, active bool) (ExchangeResult, error) {
 	if worker < 0 || worker >= m.k {
 		return ExchangeResult{}, fmt.Errorf("transport: worker %d out of range [0,%d)", worker, m.k)
 	}
@@ -140,7 +144,7 @@ func (m *Mem) Exchange(worker, step int, out [][]Message, active bool) (Exchange
 
 	// Collect phase: read own column. Safe without a second barrier
 	// because slots written next step are guarded by the barrier below.
-	res.In = make([][]Message, m.k)
+	res.In = make([]*MessageBatch, m.k)
 	for src := 0; src < m.k; src++ {
 		res.In[src] = m.mailbox[src][worker]
 		m.mailbox[src][worker] = nil

@@ -105,6 +105,7 @@ type Pipeline struct {
 	useTCP      bool
 	materialize bool
 	parallelism int
+	valueWidth  int
 }
 
 // par resolves the data-plane parallelism degree (GOMAXPROCS unless
@@ -209,6 +210,15 @@ func Parallelism(n int) PipelineOption {
 // WeightedSSSP-style programs).
 func WithEdgeWeights(w EdgeWeights) PipelineOption {
 	return func(p *Pipeline) { p.weights = w }
+}
+
+// ValueWidth sets the per-vertex value width of the run: every vertex
+// value and every replica-synchronization message carries width float64
+// columns. The default (and 0) selects 1 — the scalar applications;
+// Aggregate with width 8 moves 8-wide feature vectors. Widths < 1 fail
+// Run with a clear error.
+func ValueWidth(width int) PipelineOption {
+	return func(p *Pipeline) { p.valueWidth = width }
 }
 
 // OnProgress registers a stage-progress callback.
@@ -359,12 +369,18 @@ func (p *Pipeline) Run(ctx context.Context, prog Program) (*PipelineResult, erro
 	if prog == nil {
 		return nil, errors.New("ebv: pipeline: nil program")
 	}
+	if p.valueWidth < 0 {
+		return nil, fmt.Errorf("ebv: pipeline: value width %d invalid: must be >= 1", p.valueWidth)
+	}
 	res, err := p.prepare(ctx, true)
 	if err != nil {
 		return nil, err
 	}
 
 	cfg := bsp.NewConfig(p.runOpts...)
+	if p.valueWidth != 0 {
+		cfg.ValueWidth = p.valueWidth
+	}
 	if p.useTCP && len(cfg.Transports) == 0 {
 		mesh, err := transport.NewTCPMeshCtx(ctx, res.Assignment.K)
 		if err != nil {

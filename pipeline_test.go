@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"ebv"
-	"ebv/internal/transport"
 )
 
 func pipelineGraph(t testing.TB) *ebv.Graph {
@@ -58,8 +57,8 @@ func TestPipelineEndToEnd(t *testing.T) {
 		t.Fatalf("replication factor %.3f < 1", res.Metrics.ReplicationFactor)
 	}
 	want := ebv.SequentialCC(res.Graph)
-	for v, got := range res.BSP.Values {
-		if got != want[v] {
+	for v := range want {
+		if got, ok := res.BSP.Value(ebv.VertexID(v)); ok && got != want[v] {
 			t.Fatalf("vertex %d: pipeline CC %g, oracle %g", v, got, want[v])
 		}
 	}
@@ -196,16 +195,19 @@ func TestPipelineCancelMidPartition(t *testing.T) {
 type neverHalt struct{}
 
 func (*neverHalt) Name() string { return "never-halt" }
-func (*neverHalt) NewWorker(sub *ebv.Subgraph) ebv.WorkerProgram {
-	return neverHaltWorker{n: sub.NumLocalVertices()}
+func (*neverHalt) NewWorker(sub *ebv.Subgraph, env ebv.WorkerEnv) ebv.WorkerProgram {
+	return neverHaltWorker{n: sub.NumLocalVertices(), env: env}
 }
 
-type neverHaltWorker struct{ n int }
+type neverHaltWorker struct {
+	n   int
+	env ebv.WorkerEnv
+}
 
-func (w neverHaltWorker) Superstep(step int, in []transport.Message) ([][]transport.Message, bool) {
+func (w neverHaltWorker) Superstep(step int, in *ebv.MessageBatch) ([]*ebv.MessageBatch, bool) {
 	return nil, true
 }
-func (w neverHaltWorker) Values() []float64 { return make([]float64, w.n) }
+func (w neverHaltWorker) Values() *ebv.ValueMatrix { return w.env.NewValues(w.n) }
 
 // TestPipelineCancelMidRun cancels while the BSP stage is spinning on a
 // program that never quiesces.
@@ -294,8 +296,8 @@ func TestPipelineTCPLoopback(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := ebv.SequentialCC(res.Graph)
-	for v, got := range res.BSP.Values {
-		if got != want[v] {
+	for v := range want {
+		if got, ok := res.BSP.Value(ebv.VertexID(v)); ok && got != want[v] {
 			t.Fatalf("vertex %d over TCP: got %g, want %g", v, got, want[v])
 		}
 	}
