@@ -440,6 +440,73 @@ func BenchmarkMessageDelivery(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionReuse quantifies the Session API's amortization on the
+// ablation workload (k=8, CC): "full-pipeline" re-pays partition + build +
+// mesh setup on every job — the only mode before the Session API —
+// while "session" opens one deployment outside the timed region and serves
+// each iteration as a job, so its per-op time is the steady-state per-job
+// latency excluding load/partition/build. "session-concurrent" serves jobs
+// from GOMAXPROCS goroutines over one deployment, the graph-service
+// regime. CI runs this once per build and uploads the output as the
+// BENCH_session.json artifact; EXPERIMENTS.md records the numbers.
+func BenchmarkSessionReuse(b *testing.B) {
+	g := ablationGraph(b)
+	const k = 8
+	pipe := func() *ebv.Pipeline {
+		return ebv.NewPipeline(
+			ebv.FromGraph(g),
+			ebv.UsePartitioner(ebv.NewEBV()),
+			ebv.Subgraphs(k),
+		)
+	}
+	b.Run("full-pipeline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pipe().Run(context.Background(), &apps.CC{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(g.NumEdges()))
+	})
+	b.Run("session", func(b *testing.B) {
+		s, err := pipe().Open(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		// One warm-up job off the clock: the first job pays the lazily
+		// created frame writers and cold batch pools.
+		if _, err := s.Run(context.Background(), &apps.CC{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Run(context.Background(), &apps.CC{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(g.NumEdges()))
+	})
+	b.Run("session-concurrent", func(b *testing.B) {
+		s, err := pipe().Open(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.Run(context.Background(), &apps.CC{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := s.Run(context.Background(), &apps.CC{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.SetBytes(int64(g.NumEdges()))
+	})
+}
+
 // BenchmarkPartitionerThroughput measures raw edges/second of every
 // partitioner on the same workload.
 func BenchmarkPartitionerThroughput(b *testing.B) {

@@ -1,13 +1,17 @@
-// Command ebv-run partitions a graph and executes one of the evaluation
-// applications (CC, PR, SSSP, AGG) on the subgraph-centric BSP engine,
-// printing the §V-B breakdown (comp / comm / ΔC / execution time) and the
-// message statistics of Tables IV and V. It is a thin shell over
-// ebv.Pipeline: Ctrl-C cancels the in-flight stage (partitioning or a
-// superstep) and exits cleanly.
+// Command ebv-run partitions a graph and executes one or more of the
+// evaluation applications (CC, PR, SSSP, AGG) on the subgraph-centric BSP
+// engine, printing the §V-B breakdown (comp / comm / ΔC / execution time)
+// and the message statistics of Tables IV and V. It is a thin shell over
+// the ebv.Session API: the graph is loaded, partitioned and built ONCE,
+// then every requested app runs as a job of that session, so a multi-app
+// invocation pays the partition cost a single time and the per-job
+// breakdown shows the amortization. Ctrl-C cancels the in-flight stage
+// (partitioning or a superstep) and exits cleanly.
 //
 // Usage:
 //
 //	ebv-run -in graph.txt -algo EBV -parts 8 -app CC
+//	ebv-run -in graph.txt -algo EBV -parts 8 -app cc,pr,sssp
 //	ebv-run -in graph.bin -algo METIS -parts 4 -app PR -iters 20
 //	ebv-run -in graph.txt -algo EBV -parts 4 -app SSSP -source 0 -transport tcp
 //	ebv-run -in graph.txt -algo EBV -parts 4 -app AGG -layers 2 -width 8
@@ -50,7 +54,7 @@ func run(ctx context.Context) error {
 		undirected = flag.Bool("undirected", false, "treat text input as undirected")
 		algo       = flag.String("algo", "EBV", "partition algorithm")
 		parts      = flag.Int("parts", 8, "number of workers/subgraphs")
-		app        = flag.String("app", "CC", "application: "+strings.Join(appNames, " | "))
+		app        = flag.String("app", "CC", "comma-separated applications run as sequential jobs of one session: "+strings.Join(appNames, " | "))
 		iters      = flag.Int("iters", 10, "PageRank iterations")
 		layers     = flag.Int("layers", 2, "AGG aggregation layers")
 		source     = flag.Uint64("source", 0, "SSSP source vertex")
@@ -72,26 +76,47 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	var prog ebv.Program
-	switch strings.ToUpper(*app) {
-	case "CC":
-		prog = &ebv.CC{}
-	case "PR":
-		prog = &ebv.PageRank{Iterations: *iters}
-	case "SSSP":
-		prog = &ebv.SSSP{Source: ebv.VertexID(*source)}
-	case "AGG", "AGGREGATE":
-		prog = &ebv.Aggregate{Layers: *layers}
-	default:
-		return fmt.Errorf("unknown app %q (valid: %s)", *app, strings.Join(appNames, ", "))
+	var progs []ebv.Program
+	for _, name := range strings.Split(*app, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		switch strings.ToUpper(name) {
+		case "CC":
+			progs = append(progs, &ebv.CC{})
+		case "PR":
+			progs = append(progs, &ebv.PageRank{Iterations: *iters})
+		case "SSSP":
+			progs = append(progs, &ebv.SSSP{Source: ebv.VertexID(*source)})
+		case "AGG", "AGGREGATE":
+			progs = append(progs, &ebv.Aggregate{Layers: *layers})
+		default:
+			return fmt.Errorf("unknown app %q (valid: %s)", name, strings.Join(appNames, ", "))
+		}
+	}
+	if len(progs) == 0 {
+		return fmt.Errorf("no applications in -app %q (valid: %s)", *app, strings.Join(appNames, ", "))
 	}
 
 	opts := []ebv.PipelineOption{
 		ebv.FromEdgeList(*in),
 		ebv.UsePartitioner(p),
-		ebv.Subgraphs(*parts),
 		ebv.Parallelism(*par),
 		ebv.ValueWidth(*width),
+	}
+	// With -assignment, the subgraph count follows the assignment; pass
+	// Subgraphs only when -parts was set explicitly, so an explicit
+	// mismatch fails loudly while the default of 8 does not fight a
+	// 4-part assignment.
+	partsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "parts" {
+			partsSet = true
+		}
+	})
+	if *assignPath == "" || partsSet {
+		opts = append(opts, ebv.Subgraphs(*parts))
 	}
 	if *undirected {
 		opts = append(opts, ebv.Undirected())
@@ -121,23 +146,46 @@ func run(ctx context.Context) error {
 		}))
 	}
 
-	res, err := ebv.NewPipeline(opts...).Run(ctx, prog)
+	// Prepare once (load → partition → build → persistent transport mesh),
+	// then serve every requested app as a job of the session.
+	s, err := ebv.NewPipeline(opts...).Open(ctx)
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 
+	res := s.Prepared()
 	fmt.Printf("graph               %s (V=%d, E=%d)\n", *in, res.Graph.NumVertices(), res.Graph.NumEdges())
 	fmt.Printf("partition           %s into %d subgraphs in %v (RF %.3f, EIF %.3f, VIF %.3f)\n",
 		res.PartitionerName, res.Assignment.K, res.PartitionTime.Round(time.Millisecond),
 		res.Metrics.ReplicationFactor, res.Metrics.EdgeImbalance, res.Metrics.VertexImbalance)
-	fmt.Printf("application         %s over %s transport\n", prog.Name(), *transport)
-	fmt.Printf("supersteps          %d\n", res.BSP.Steps)
-	fmt.Printf("execution time      %v\n", res.BSP.WallTime.Round(time.Microsecond))
-	fmt.Printf("avg comp / comm     %v / %v\n",
-		res.BSP.AvgComp().Round(time.Microsecond), res.BSP.AvgComm().Round(time.Microsecond))
-	fmt.Printf("deltaC (sync skew)  %v\n", res.BSP.DeltaC().Round(time.Microsecond))
-	fmt.Printf("total messages      %d\n", res.BSP.TotalMessages())
-	fmt.Printf("max/mean messages   %.3f\n", res.BSP.MaxMeanMessageRatio())
+	fmt.Printf("prepare             load %v + partition %v + build %v over %s transport\n",
+		res.LoadTime.Round(time.Millisecond), res.PartitionTime.Round(time.Millisecond),
+		res.BuildTime.Round(time.Millisecond), *transport)
+
+	for _, prog := range progs {
+		job, err := s.Run(ctx, prog)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\njob %d               %s\n", job.Job, job.Program)
+		fmt.Printf("  supersteps        %d\n", job.BSP.Steps)
+		fmt.Printf("  execution time    %v\n", job.BSP.WallTime.Round(time.Microsecond))
+		fmt.Printf("  avg comp / comm   %v / %v\n",
+			job.BSP.AvgComp().Round(time.Microsecond), job.BSP.AvgComm().Round(time.Microsecond))
+		fmt.Printf("  deltaC (skew)     %v\n", job.BSP.DeltaC().Round(time.Microsecond))
+		fmt.Printf("  total messages    %d\n", job.BSP.TotalMessages())
+		fmt.Printf("  max/mean messages %.3f\n", job.BSP.MaxMeanMessageRatio())
+	}
+
+	st := s.Stats()
+	fmt.Printf("\nsession             %d job(s) in %v (prepare was %v",
+		st.JobsServed, st.TotalRunTime.Round(time.Microsecond), st.PrepareTime.Round(time.Millisecond))
+	if st.JobsServed > 1 {
+		fmt.Printf("; first job %v, steady state %v/job",
+			st.FirstRunTime().Round(time.Microsecond), st.SteadyStateRunTime().Round(time.Microsecond))
+	}
+	fmt.Println(")")
 	return nil
 }
 

@@ -35,9 +35,30 @@
 //	fmt.Printf("replication factor: %.2f, %d supersteps\n",
 //		res.Metrics.ReplicationFactor, res.BSP.Steps)
 //
+// To serve many programs over the same graph, prepare once and run many:
+// Pipeline.Open performs load → partition → build a single time and
+// returns a Session owning the subgraphs and a persistent transport mesh;
+// every Session.Run is then a job paying only the execution cost, and Run
+// is safe for concurrent callers (each job gets its own exchange, value
+// width and step cap):
+//
+//	s, err := ebv.NewPipeline(
+//		ebv.FromEdgeList("graph.txt"),
+//		ebv.UsePartitioner(ebv.NewEBV()),
+//		ebv.Subgraphs(16),
+//	).Open(ctx)
+//	// handle err
+//	defer s.Close()
+//	cc, err := s.Run(ctx, &ebv.CC{})                              // job 1
+//	pr, err := s.Run(ctx, &ebv.PageRank{Iterations: 10})          // job 2
+//	agg, err := s.Run(ctx, &ebv.Aggregate{Layers: 2}, ebv.WithValueWidth(8))
+//	fmt.Println(s.Stats().SteadyStateRunTime())                   // amortized per-job latency
+//
 // The lower-level pieces remain available for custom wiring: every
 // partitioner still exposes Partition(g, k), the context-aware ones add
-// PartitionCtx, and the BSP engine runs via RunBSP/RunBSPCtx.
+// PartitionCtx, and the BSP engine runs via RunBSP/RunBSPCtx — or, in the
+// prepare-once form, NewBSPDeployment over a transport deployment
+// (NewMemDeployment / NewTCPMeshDeployment).
 //
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package ebv
@@ -221,6 +242,12 @@ type (
 	WorkerEnv = bsp.Env
 	// Transport moves message batches between workers.
 	Transport = transport.Transport
+	// TransportDeployment is a long-lived transport mesh serving many
+	// jobs through job-scoped exchanges (the transport half of Session).
+	TransportDeployment = transport.Deployment
+	// BSPDeployment is the prepare-once/serve-many engine: built subgraphs
+	// bound to a TransportDeployment, serving concurrent BSP jobs.
+	BSPDeployment = bsp.Deployment
 	// FaultInjector wraps a Transport to fail a chosen exchange — the
 	// failure-injection hook used in tests.
 	FaultInjector = transport.FaultInjector
@@ -248,6 +275,14 @@ var (
 	NewTCPMeshCtx                  = transport.NewTCPMeshCtx
 	NewTCPWorker                   = transport.NewTCPWorker
 	NewTCPWorkerCtx                = transport.NewTCPWorkerCtx
+	// NewBSPDeployment binds built subgraphs to a transport deployment
+	// (nil = in-memory) for prepare-once/serve-many execution; the Session
+	// facade (Pipeline.Open) wraps it.
+	NewBSPDeployment = bsp.NewDeployment
+	// NewMemDeployment / NewTCPMeshDeployment build the job-mux transport
+	// deployments backing sessions.
+	NewMemDeployment     = transport.NewMemDeployment
+	NewTCPMeshDeployment = transport.NewTCPMeshDeployment
 	// NewRunConfig builds a RunConfig from functional options
 	// (WithMaxSteps, WithTransports, WithValueWidth,
 	// WithReplicaVerification); the struct-literal form keeps working.

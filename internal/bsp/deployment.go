@@ -1,0 +1,131 @@
+package bsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ebv/internal/transport"
+)
+
+// ErrDeploymentClosed reports a Run on a closed Deployment.
+var ErrDeploymentClosed = errors.New("bsp: deployment closed")
+
+// Deployment is the prepare-once/serve-many execution engine: it binds a
+// set of built subgraphs to a persistent transport deployment and serves
+// BSP jobs over them. Where RunCtx pays transport setup and assumes sole
+// ownership of its transports (closing them ends the world), a Deployment
+// opens a job-scoped transport view per Run, so concurrent Run calls — each
+// with its own program, value width and step cap — share the subgraphs and
+// the mesh without their message batches ever crossing.
+//
+// Run is safe for concurrent use. Close tears the transport deployment
+// down; jobs blocked in a collective exchange are released and fail with
+// ErrDeploymentClosed.
+type Deployment struct {
+	subs    []*Subgraph
+	mesh    transport.Deployment
+	nextJob atomic.Uint32
+	served  atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewDeployment binds subs to mesh (nil mesh selects a fresh in-memory
+// deployment). The mesh's worker count must match the subgraph count; the
+// Deployment takes ownership of it and closes it in Close.
+func NewDeployment(subs []*Subgraph, mesh transport.Deployment) (*Deployment, error) {
+	if len(subs) == 0 {
+		return nil, errors.New("bsp: no subgraphs")
+	}
+	if mesh == nil {
+		m, err := transport.NewMemDeployment(len(subs))
+		if err != nil {
+			return nil, err
+		}
+		mesh = m
+	}
+	if mesh.NumWorkers() != len(subs) {
+		return nil, fmt.Errorf("bsp: transport deployment has %d workers, %d subgraphs built",
+			mesh.NumWorkers(), len(subs))
+	}
+	return &Deployment{subs: subs, mesh: mesh}, nil
+}
+
+// NumWorkers returns the worker/subgraph count every job runs with.
+func (d *Deployment) NumWorkers() int { return len(d.subs) }
+
+// Subgraphs returns the deployment's subgraphs (shared, read-only).
+func (d *Deployment) Subgraphs() []*Subgraph { return d.subs }
+
+// JobsServed returns the number of successfully completed jobs.
+func (d *Deployment) JobsServed() int64 { return d.served.Load() }
+
+// Run executes prog as one job of the deployment and returns its result.
+// Safe for concurrent callers: each call opens its own job-scoped
+// transports, so interleaved jobs of different widths coexist. The config's
+// MaxSteps, ValueWidth and VerifyReplicaAgreement are honored; Transports
+// must be unset (the deployment owns the transport mesh).
+func (d *Deployment) Run(ctx context.Context, prog Program, cfg Config) (*Result, error) {
+	if prog == nil {
+		return nil, errors.New("bsp: nil program")
+	}
+	if len(cfg.Transports) > 0 {
+		return nil, errors.New("bsp: deployment owns its transports (Config.Transports must be unset)")
+	}
+	width, err := cfg.valueWidth()
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrDeploymentClosed
+	}
+	job := d.nextJob.Add(1)
+	trs, err := d.mesh.OpenJob(job, width)
+	d.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("bsp: open job %d: %w", job, err)
+	}
+	// executeJob closes the job transports itself on cancellation or
+	// failure; close unconditionally so a completed job retires its mux
+	// entry (Close is idempotent and job-scoped — the mesh stays up).
+	defer func() {
+		for _, tr := range trs {
+			_ = tr.Close()
+		}
+	}()
+	res, err := executeJob(ctx, d.subs, prog, trs, cfg.maxSteps(), width, cfg.VerifyReplicaAgreement)
+	if err != nil {
+		if d.isClosed() && errors.Is(err, transport.ErrClosed) {
+			return nil, fmt.Errorf("bsp: job %d (%s): %w", job, prog.Name(), ErrDeploymentClosed)
+		}
+		return nil, err
+	}
+	d.served.Add(1)
+	return res, nil
+}
+
+func (d *Deployment) isClosed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
+}
+
+// Close tears the deployment down: in-flight jobs are released from their
+// exchanges and fail with ErrDeploymentClosed; subsequent Run calls fail
+// immediately. Idempotent.
+func (d *Deployment) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	return d.mesh.Close()
+}

@@ -121,6 +121,16 @@ func WithReplicaVerification(on bool) Option {
 	return func(c *Config) { c.VerifyReplicaAgreement = on }
 }
 
+// maxSteps resolves the superstep safety cap (<= 0 selects the default),
+// shared by every entry point so one-shot runs, distributed workers and
+// deployment jobs agree on the cap.
+func (c Config) maxSteps() int {
+	if c.MaxSteps <= 0 {
+		return 100000
+	}
+	return c.MaxSteps
+}
+
 // valueWidth resolves the configured width (0 = default 1) or errors on a
 // width no transport can carry, so misconfiguration fails identically on
 // Mem and TCP instead of surfacing as frame corruption on one of them.
@@ -129,7 +139,8 @@ func (c Config) valueWidth() (int, error) {
 	case c.ValueWidth == 0:
 		return 1, nil
 	case c.ValueWidth < 1:
-		return 0, fmt.Errorf("bsp: value width %d invalid: must be >= 1", c.ValueWidth)
+		return 0, fmt.Errorf("bsp: value width %d invalid: must be >= 1 (or 0 for the default of 1)",
+			c.ValueWidth)
 	case c.ValueWidth > transport.MaxValueWidth:
 		return 0, fmt.Errorf("bsp: value width %d exceeds the transport cap %d",
 			c.ValueWidth, transport.MaxValueWidth)
@@ -226,27 +237,36 @@ func Run(subs []*Subgraph, prog Program, cfg Config) (*Result, error) {
 // run returns ctx.Err() within one superstep of wall time, never a partial
 // result. The transports are unusable afterwards (a canceled run is over).
 func RunCtx(ctx context.Context, subs []*Subgraph, prog Program, cfg Config) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	k := len(subs)
 	if k == 0 {
 		return nil, errors.New("bsp: no subgraphs")
-	}
-	maxSteps := cfg.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = 100000
 	}
 	width, err := cfg.valueWidth()
 	if err != nil {
 		return nil, err
 	}
-
 	transports, cleanup, err := resolveTransports(cfg, k)
 	if err != nil {
 		return nil, err
 	}
 	defer cleanup()
+	return executeJob(ctx, subs, prog, transports, cfg.maxSteps(), width, cfg.VerifyReplicaAgreement)
+}
+
+// executeJob runs one job — prog over subs, one transport per worker —
+// until global quiescence. It is the shared core of RunCtx (which owns a
+// one-shot transport set) and Deployment.Run (which owns job-scoped views
+// of a persistent mesh): the transports passed in are assumed to be this
+// job's to tear down, and are closed on cancellation or worker failure to
+// release peers blocked in the collective exchange. Concurrent executeJob
+// calls over the same subgraphs are safe — subgraphs are immutable at run
+// time and all per-job state lives here.
+func executeJob(ctx context.Context, subs []*Subgraph, prog Program,
+	transports []transport.Transport, maxSteps, width int, verify bool) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	k := len(subs)
 
 	// workerCtx is canceled when the caller's ctx is canceled OR when any
 	// worker fails mid-run (a bad batch, a transport fault): closing every
@@ -314,7 +334,7 @@ func RunCtx(ctx context.Context, subs []*Subgraph, prog Program, cfg Config) (*R
 		for local, gid := range subs[w].GlobalIDs {
 			row := vals.Row(local)
 			dst := res.Values.Row(int(gid))
-			if cfg.VerifyReplicaAgreement && res.Covered[gid] {
+			if verify && res.Covered[gid] {
 				for j := range dst {
 					if dst[j] != row[j] {
 						return nil, fmt.Errorf(
@@ -492,10 +512,6 @@ func RunWorkerCtx(ctx context.Context, sub *Subgraph, prog Program, tr transport
 		return nil, fmt.Errorf("bsp: transport has %d workers, subgraph expects %d",
 			tr.NumWorkers(), sub.NumWorkers)
 	}
-	maxSteps := cfg.MaxSteps
-	if maxSteps <= 0 {
-		maxSteps = 100000
-	}
 	width, err := cfg.valueWidth()
 	if err != nil {
 		return nil, err
@@ -504,7 +520,7 @@ func RunWorkerCtx(ctx context.Context, sub *Subgraph, prog Program, tr transport
 	defer stopWatch()
 	res := &WorkerResult{}
 	start := time.Now()
-	steps, values, err := runWorker(ctx, sub.Part, sub, prog, tr, maxSteps, width, &res.Stats)
+	steps, values, err := runWorker(ctx, sub.Part, sub, prog, tr, cfg.maxSteps(), width, &res.Stats)
 	if err != nil {
 		// Mirror RunCtx's failRun: a local validation error (bad batch,
 		// mis-shaped values) leaves the transport healthy, so close it —

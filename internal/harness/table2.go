@@ -50,13 +50,16 @@ func Table2(opt Options) (*Table2Result, error) {
 	}
 	res := &Table2Result{Workers: workers}
 	for _, p := range opt.tablePartitioners() {
+		// One deployment per cell: the partition and subgraph build are
+		// paid once and the repeats run as jobs over it, so the repeated
+		// timings measure execution in the amortized serving regime.
+		runs, err := runBSPRepeats(g, p, workers, AppCC, opt, repeat)
+		if err != nil {
+			return nil, err
+		}
 		var comp, comm, deltaC, exec time.Duration
 		execSamples := make([]time.Duration, 0, repeat)
-		for r := 0; r < repeat; r++ {
-			run, err := runBSP(g, p, workers, AppCC, opt)
-			if err != nil {
-				return nil, err
-			}
+		for _, run := range runs {
 			comp += run.AvgComp()
 			comm += run.AvgComm()
 			deltaC += run.DeltaC()

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"os"
 	"slices"
 	"sync"
@@ -125,20 +126,45 @@ func (b *MessageBatch) Check(width int) error {
 	return nil
 }
 
-// Pooled batch allocation. One process-wide pool serves every run and
-// transport: supersteps Get fresh outgoing batches, the engine recycles
+// Pooled batch allocation. A process-wide set of pools serves every run
+// and transport: supersteps Get fresh outgoing batches, the engine recycles
 // delivered batches after copying them into its inbox, and the TCP
 // transport recycles outgoing batches once their frames are on the wire —
-// so steady-state supersteps allocate nothing. Batches of different widths
-// share the pool (Get just reslices the columns).
-var batchPool = sync.Pool{New: func() any { return new(MessageBatch) }}
+// so steady-state supersteps allocate nothing.
+//
+// The pools are segregated by power-of-two width class so that concurrent
+// jobs of different widths (the Session API's serving mode) stay safe AND
+// economical: a narrow job never drains batches whose Vals capacity was
+// sized for a wide job (unbounded cross-width capacity transfer), and a
+// wide job never warms up on batches that must immediately regrow. Within
+// a class, Get reslices the columns to the requested width.
+var batchPools [batchWidthClasses]sync.Pool
+
+// batchWidthClasses covers widths up to MaxValueWidth = 1<<16: class c
+// holds widths in (2^(c-1), 2^c].
+const batchWidthClasses = 17
+
+// batchPool returns the pool serving the given width's class. Widths
+// beyond MaxValueWidth (which no transport accepts — the engine rejects
+// them at config time) share the top class rather than panicking, so a
+// direct GetBatch/RecycleBatch caller degrades instead of crashing.
+func batchPool(width int) *sync.Pool {
+	class := bits.Len(uint(width - 1))
+	if class >= batchWidthClasses {
+		class = batchWidthClasses - 1
+	}
+	return &batchPools[class]
+}
 
 // GetBatch returns an empty pooled batch of the given width (< 1 selects 1).
 func GetBatch(width int) *MessageBatch {
 	if width < 1 {
 		width = 1
 	}
-	b := batchPool.Get().(*MessageBatch)
+	b, _ := batchPool(width).Get().(*MessageBatch)
+	if b == nil {
+		b = new(MessageBatch)
+	}
 	b.Width = width
 	b.Reset()
 	return b
@@ -156,8 +182,12 @@ func RecycleBatch(b *MessageBatch) {
 	if poisonRecycled.Load() {
 		b.poison()
 	}
+	width := b.Width
+	if width < 1 {
+		width = 1
+	}
 	b.Reset()
-	batchPool.Put(b)
+	batchPool(width).Put(b)
 }
 
 // PoisonID is the sentinel vertex id scribbled over recycled batches in

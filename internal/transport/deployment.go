@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Deployment is a long-lived transport mesh serving many BSP jobs: it is
+// wired once (connections dialed, routers allocated) and then hands out
+// job-scoped Transports on demand, so concurrent jobs share the deployment
+// without their batches ever crossing. This is the transport half of the
+// Session API: Pipeline.Open builds one Deployment, every Session.Run opens
+// one job on it, and Session.Close tears the mesh down.
+//
+// OpenJob returns one Transport per worker, all scoped to the given job id:
+// a batch exchanged under job j is only ever delivered to job j's
+// Exchange calls (the Mem deployment routes each job through its own
+// mailbox matrix; the TCP deployment tags every wire frame with the job id
+// and demuxes incoming frames per job). Closing a job's Transports releases
+// only that job's blocked exchanges — the deployment stays healthy and
+// keeps serving other jobs. Closing the Deployment itself fails every open
+// job with ErrClosed and releases all blocked workers.
+type Deployment interface {
+	// NumWorkers returns the worker count every job runs with.
+	NumWorkers() int
+	// OpenJob registers a job and returns its per-worker transports. The
+	// job id must be unique for the lifetime of the deployment (a retired
+	// id cannot be reopened); width is the job's value width, enforced
+	// against every batch that crosses the job's exchanges.
+	OpenJob(job uint32, width int) ([]Transport, error)
+	// Close tears the deployment down: every open job's exchanges return
+	// ErrClosed and no further jobs can be opened.
+	Close() error
+}
+
+// MemDeployment is the in-memory Deployment: a job-id-keyed mux of Mem
+// routers. Each job gets its own k×k mailbox matrix, so interleaved jobs
+// are isolated by construction; the mux exists to track and release them
+// collectively on Close.
+type MemDeployment struct {
+	k       int
+	mu      sync.Mutex
+	jobs    map[uint32]*memJob
+	retired map[uint32]struct{}
+	closed  bool
+}
+
+var _ Deployment = (*MemDeployment)(nil)
+
+// NewMemDeployment returns an in-memory deployment for k workers.
+func NewMemDeployment(k int) (*MemDeployment, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("transport: need at least 1 worker, got %d", k)
+	}
+	return &MemDeployment{
+		k:       k,
+		jobs:    make(map[uint32]*memJob),
+		retired: make(map[uint32]struct{}),
+	}, nil
+}
+
+// NumWorkers implements Deployment.
+func (d *MemDeployment) NumWorkers() int { return d.k }
+
+// OpenJob implements Deployment: the job gets a fresh Mem router shared by
+// all k worker transports.
+func (d *MemDeployment) OpenJob(job uint32, width int) ([]Transport, error) {
+	if width < 1 || width > MaxValueWidth {
+		return nil, fmt.Errorf("transport: job %d width %d out of range [1,%d]", job, width, MaxValueWidth)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if _, open := d.jobs[job]; open {
+		return nil, fmt.Errorf("transport: job %d already open", job)
+	}
+	if _, was := d.retired[job]; was {
+		return nil, fmt.Errorf("transport: job %d already served (ids are single-use)", job)
+	}
+	mem, err := NewMem(d.k)
+	if err != nil {
+		return nil, err
+	}
+	j := &memJob{Mem: mem, dep: d, job: job, width: width}
+	d.jobs[job] = j
+	ts := make([]Transport, d.k)
+	for i := range ts {
+		ts[i] = j
+	}
+	return ts, nil
+}
+
+// Close implements Deployment.
+func (d *MemDeployment) Close() error {
+	d.mu.Lock()
+	jobs := make([]*memJob, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		jobs = append(jobs, j)
+	}
+	d.closed = true
+	d.mu.Unlock()
+	for _, j := range jobs {
+		_ = j.Close()
+	}
+	return nil
+}
+
+// retire moves a job id from open to retired.
+func (d *MemDeployment) retire(job uint32) {
+	d.mu.Lock()
+	delete(d.jobs, job)
+	d.retired[job] = struct{}{}
+	d.mu.Unlock()
+}
+
+// memJob is one job's view of a MemDeployment: its private Mem router plus
+// a width check on every exchanged batch, so a cross-width batch fails the
+// same way it does on the TCP wire.
+type memJob struct {
+	*Mem
+	dep   *MemDeployment
+	job   uint32
+	width int
+}
+
+// Exchange implements Transport, rejecting batches of the wrong width
+// before they enter the job's mailbox matrix.
+func (j *memJob) Exchange(worker, step int, out []*MessageBatch, active bool) (ExchangeResult, error) {
+	for dst, batch := range out {
+		if batch != nil && batch.Width != j.width {
+			return ExchangeResult{}, fmt.Errorf(
+				"transport: job %d is width %d, outgoing batch for worker %d has width %d",
+				j.job, j.width, dst, batch.Width)
+		}
+	}
+	return j.Mem.Exchange(worker, step, out, active)
+}
+
+// Close implements Transport: it closes only this job's router (releasing
+// its blocked exchanges) and retires the id; the deployment keeps serving
+// other jobs.
+func (j *memJob) Close() error {
+	err := j.Mem.Close()
+	j.dep.retire(j.job)
+	return err
+}

@@ -1,0 +1,495 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPMeshDeployment is the TCP Deployment: a full loopback mesh wired once
+// and shared by every job. Where the single-job TCP transport owns its
+// connections and keeps streams aligned by writing exactly one frame per
+// peer per step, the deployment multiplexes many jobs over the same
+// connections, so every frame is tagged with its job id (wire format v3,
+// magic "EBVJ") and a per-connection demux goroutine routes incoming
+// frames to the owning job's inbox. Interleaved jobs' batches therefore
+// never cross: a frame for job j is only ever delivered to job j's
+// Exchange, a frame whose width disagrees with the job's fails that job
+// loudly, and a frame for a job the deployment has never opened kills the
+// node (cross-job corruption is a protocol violation, not noise).
+//
+// Job frame layout (little endian), version 3 — the job-mux format:
+//
+//	u32 magic "EBVJ" | u32 job | u32 step | u8 active | u32 width | u32 count |
+//	u32 idBytes  | count × u32 vertex id        (64 KiB blocks)
+//	u32 valBytes | count·width × f64 value      (64 KiB blocks)
+//
+// The columns are the v2 columns (writeColumns/readColumns); the magic
+// word differs from v2's "EBVM" so a single-job peer dialed into a
+// deployment fails its first frame loudly instead of desynchronizing.
+type TCPMeshDeployment struct {
+	k       int
+	nodes   []*muxNode
+	mu      sync.Mutex
+	closed  bool
+	readers sync.WaitGroup
+}
+
+var _ Deployment = (*TCPMeshDeployment)(nil)
+
+// NewTCPMeshDeployment wires a persistent k-worker loopback mesh and
+// starts its demux readers. Canceling ctx aborts the wiring (not the
+// finished deployment — tear that down with Close).
+func NewTCPMeshDeployment(ctx context.Context, k int) (*TCPMeshDeployment, error) {
+	ts, err := NewTCPMeshCtx(ctx, k)
+	if err != nil {
+		return nil, err
+	}
+	d := &TCPMeshDeployment{k: k, nodes: make([]*muxNode, k)}
+	for i, t := range ts {
+		d.nodes[i] = &muxNode{
+			worker:  i,
+			k:       k,
+			conns:   t.conns,
+			bufw:    make([]*bufio.Writer, k),
+			wmu:     make([]sync.Mutex, k),
+			jobs:    make(map[uint32]*muxJob),
+			retired: make(map[uint32]struct{}),
+		}
+	}
+	for _, n := range d.nodes {
+		for peer := 0; peer < k; peer++ {
+			if peer == n.worker {
+				continue
+			}
+			d.readers.Add(1)
+			go func(n *muxNode, peer int) {
+				defer d.readers.Done()
+				n.readLoop(peer)
+			}(n, peer)
+		}
+	}
+	return d, nil
+}
+
+// NumWorkers implements Deployment.
+func (d *TCPMeshDeployment) NumWorkers() int { return d.k }
+
+// OpenJob implements Deployment: the job is registered on every node's
+// demux table before any transport is returned, so a fast worker's first
+// frame always finds its inbox.
+func (d *TCPMeshDeployment) OpenJob(job uint32, width int) ([]Transport, error) {
+	if width < 1 || width > MaxValueWidth {
+		return nil, fmt.Errorf("transport: job %d width %d out of range [1,%d]", job, width, MaxValueWidth)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	ts := make([]Transport, d.k)
+	for i, n := range d.nodes {
+		j, err := n.openJob(job, width)
+		if err != nil {
+			for _, t := range ts[:i] {
+				_ = t.Close()
+			}
+			return nil, err
+		}
+		ts[i] = j
+	}
+	return ts, nil
+}
+
+// Close implements Deployment: every open job fails with ErrClosed, all
+// connections close, and the demux readers are waited out.
+func (d *TCPMeshDeployment) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	for _, n := range d.nodes {
+		n.fail(ErrClosed)
+	}
+	d.readers.Wait()
+	return nil
+}
+
+// jobFrameBuffer bounds each (job, src) inbox. The BSP lock-step invariant
+// keeps at most 2 frames outstanding per (job, src) — a worker can run at
+// most one step ahead of the slowest peer that acknowledged it — so a full
+// inbox means protocol violation, and the demux fails the job rather than
+// head-of-line-block every other job on the connection.
+const jobFrameBuffer = 4
+
+// muxNode is one worker's endpoint of the deployment: the connections to
+// its peers (shared by every job), per-peer write locks, and the demux
+// table routing incoming frames to jobs.
+type muxNode struct {
+	worker int
+	k      int
+	conns  []net.Conn // conns[peer]; nil at index == worker
+	bufw   []*bufio.Writer
+	wmu    []sync.Mutex // guards bufw[peer] and frame atomicity on the wire
+
+	mu      sync.Mutex
+	jobs    map[uint32]*muxJob
+	retired map[uint32]struct{}
+	failed  error // demux death (conn error, cross-job frame); nil while healthy
+}
+
+// jobFrame is one decoded frame queued for a job's Exchange.
+type jobFrame struct {
+	step   int
+	active bool
+	batch  *MessageBatch
+}
+
+// muxJob is one worker's job-scoped Transport over the shared node.
+type muxJob struct {
+	node  *muxNode
+	job   uint32
+	width int
+	in    []chan jobFrame // in[src]; nil at index == node.worker
+	done  chan struct{}   // closed when the job fails or closes
+	err   error           // cause; written before done closes
+}
+
+var _ Transport = (*muxJob)(nil)
+
+// openJob registers a job on this node.
+func (n *muxNode) openJob(job uint32, width int) (*muxJob, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.failed != nil {
+		return nil, fmt.Errorf("transport: worker %d deployment failed: %w", n.worker, n.failed)
+	}
+	if _, open := n.jobs[job]; open {
+		return nil, fmt.Errorf("transport: job %d already open", job)
+	}
+	if _, was := n.retired[job]; was {
+		return nil, fmt.Errorf("transport: job %d already served (ids are single-use)", job)
+	}
+	j := &muxJob{
+		node:  n,
+		job:   job,
+		width: width,
+		in:    make([]chan jobFrame, n.k),
+		done:  make(chan struct{}),
+	}
+	for peer := 0; peer < n.k; peer++ {
+		if peer != n.worker {
+			j.in[peer] = make(chan jobFrame, jobFrameBuffer)
+		}
+	}
+	n.jobs[job] = j
+	return j, nil
+}
+
+// failJob retires a job with the given cause, releasing its blocked
+// exchanges. Idempotent; the node keeps serving other jobs.
+func (n *muxNode) failJob(j *muxJob, cause error) {
+	n.mu.Lock()
+	if _, open := n.jobs[j.job]; !open {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.jobs, j.job)
+	n.retired[j.job] = struct{}{}
+	j.err = cause
+	close(j.done)
+	n.mu.Unlock()
+	j.drainInboxes()
+}
+
+// fail kills the whole node: every open job fails with cause and the
+// connections close (peers observe it and fail their own demuxes — the
+// deployment-wide analogue of a crashed process). Idempotent.
+func (n *muxNode) fail(cause error) {
+	n.mu.Lock()
+	if n.failed != nil {
+		n.mu.Unlock()
+		return
+	}
+	n.failed = cause
+	jobs := make([]*muxJob, 0, len(n.jobs))
+	for _, j := range n.jobs {
+		jobs = append(jobs, j)
+	}
+	n.mu.Unlock()
+	for _, j := range jobs {
+		n.failJob(j, cause)
+	}
+	for _, c := range n.conns {
+		if c != nil {
+			_ = c.Close()
+		}
+	}
+}
+
+// readLoop is the demux for one peer connection: it decodes job frames and
+// routes them to the owning job's inbox until the connection dies.
+func (n *muxNode) readLoop(peer int) {
+	br := bufio.NewReaderSize(n.conns[peer], 1<<16)
+	for {
+		job, step, active, batch, err := readJobFrame(br)
+		if err != nil {
+			n.fail(fmt.Errorf("transport: demux at worker %d from %d: %w", n.worker, peer, err))
+			return
+		}
+		if !n.route(peer, job, jobFrame{step: step, active: active, batch: batch}) {
+			return
+		}
+	}
+}
+
+// route delivers one decoded frame; false stops the read loop (node dead).
+func (n *muxNode) route(peer int, job uint32, f jobFrame) bool {
+	n.mu.Lock()
+	j, open := n.jobs[job]
+	if !open {
+		_, wasServed := n.retired[job]
+		n.mu.Unlock()
+		RecycleBatch(f.batch)
+		if wasServed {
+			return true // straggler frame of a finished job: drop
+		}
+		n.fail(fmt.Errorf("transport: worker %d received a frame for unknown job %d from worker %d (cross-job corruption)",
+			n.worker, job, peer))
+		return false
+	}
+	n.mu.Unlock()
+	if f.batch != nil && f.batch.Width != j.width {
+		got := f.batch.Width
+		RecycleBatch(f.batch)
+		n.failJob(j, fmt.Errorf("transport: job %d is width %d, frame from worker %d has width %d",
+			job, j.width, peer, got))
+		return true
+	}
+	select {
+	case j.in[peer] <- f:
+	default:
+		RecycleBatch(f.batch)
+		n.failJob(j, fmt.Errorf("transport: job %d inbox from worker %d overflowed (step skew)", job, peer))
+	}
+	return true
+}
+
+// writerTo returns the shared buffered writer for peer; the caller must
+// hold wmu[peer].
+func (n *muxNode) writerTo(peer int) *bufio.Writer {
+	if n.bufw[peer] == nil {
+		n.bufw[peer] = bufio.NewWriterSize(n.conns[peer], 1<<16)
+	}
+	return n.bufw[peer]
+}
+
+// failure returns the job's recorded cause (safe after done closed).
+func (j *muxJob) failure() error {
+	if j.err != nil {
+		return j.err
+	}
+	return ErrClosed
+}
+
+// drainInboxes recycles queued frames of a retired job (best-effort: a
+// frame routed concurrently with retirement is stranded to the GC, which
+// the pool tolerates).
+func (j *muxJob) drainInboxes() {
+	for _, ch := range j.in {
+		if ch == nil {
+			continue
+		}
+		for drained := false; !drained; {
+			select {
+			case f := <-ch:
+				RecycleBatch(f.batch)
+			default:
+				drained = true
+			}
+		}
+	}
+}
+
+// Exchange implements Transport for one job over the shared mesh.
+func (j *muxJob) Exchange(worker, step int, out []*MessageBatch, active bool) (ExchangeResult, error) {
+	n := j.node
+	if worker != n.worker {
+		return ExchangeResult{}, fmt.Errorf("transport: job %d instance owns worker %d, called as %d",
+			j.job, n.worker, worker)
+	}
+	select {
+	case <-j.done:
+		return ExchangeResult{}, j.failure()
+	default:
+	}
+	// Reject cross-width batches before anything reaches the wire, so the
+	// sender fails as loudly as the receiving demux would.
+	for dst, batch := range out {
+		if batch != nil && batch.Width != j.width {
+			return ExchangeResult{}, fmt.Errorf(
+				"transport: job %d is width %d, outgoing batch for worker %d has width %d",
+				j.job, j.width, dst, batch.Width)
+		}
+	}
+
+	res := ExchangeResult{In: make([]*MessageBatch, n.k), AnyActive: active}
+	if worker < len(out) {
+		res.In[worker] = out[worker] // self-delivery without the network
+	}
+
+	// Write one tagged frame to every peer concurrently; the per-peer lock
+	// keeps frames of interleaved jobs atomic on the shared stream.
+	var wg sync.WaitGroup
+	errCh := make(chan error, n.k)
+	for peer := 0; peer < n.k; peer++ {
+		if peer == worker {
+			continue
+		}
+		var batch *MessageBatch
+		if peer < len(out) {
+			batch = out[peer]
+		}
+		wg.Add(1)
+		go func(peer int, batch *MessageBatch) {
+			defer wg.Done()
+			n.wmu[peer].Lock()
+			err := writeJobFrame(n.writerTo(peer), j.job, step, active, batch)
+			n.wmu[peer].Unlock()
+			if err != nil {
+				errCh <- fmt.Errorf("transport: job %d write to %d: %w", j.job, peer, err)
+			}
+		}(peer, batch)
+	}
+
+	// Receive this job's frame from every peer via the demux inboxes.
+	var firstErr error
+	for peer := 0; peer < n.k; peer++ {
+		if peer == worker {
+			continue
+		}
+		select {
+		case f := <-j.in[peer]:
+			if f.step != step {
+				RecycleBatch(f.batch)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("transport: job %d step skew from %d: got %d want %d",
+						j.job, peer, f.step, step)
+				}
+				continue
+			}
+			res.In[peer] = f.batch
+			res.AnyActive = res.AnyActive || f.active
+		case <-j.done:
+			if firstErr == nil {
+				firstErr = j.failure()
+			}
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	if firstErr == nil {
+		for err := range errCh {
+			firstErr = err
+			break
+		}
+	}
+	// Frames are on the wire (or abandoned): recycle the outgoing batches.
+	// The self slot stays alive — it was handed back in In.
+	for peer := 0; peer < n.k && peer < len(out); peer++ {
+		if peer != worker {
+			RecycleBatch(out[peer])
+		}
+	}
+	if firstErr != nil {
+		return ExchangeResult{}, firstErr
+	}
+	// Like the single-job TCP transport, peer-wait cannot be separated
+	// from wire time without extra control round-trips: Wait stays 0 and
+	// callers attribute the whole exchange to communication.
+	return res, nil
+}
+
+// NumWorkers implements Transport.
+func (j *muxJob) NumWorkers() int { return j.node.k }
+
+// Close implements Transport: it retires this worker's view of the job
+// (releasing its blocked Exchange, recycling queued frames); the mesh and
+// every other job stay up.
+func (j *muxJob) Close() error {
+	j.node.failJob(j, ErrClosed)
+	return nil
+}
+
+const (
+	// jobFrameMagic marks a job-mux (version 3) frame; see
+	// TCPMeshDeployment. Distinct from the single-job "EBVM" so mixed-era
+	// peers fail the first frame loudly.
+	jobFrameMagic = 0x4542564A // "EBVJ"
+
+	jobFrameHeaderBytes = 21 // magic + job + step + active + width + count
+)
+
+// writeJobFrame encodes one job-tagged columnar frame into bw and flushes
+// it. A nil or empty batch writes an empty frame (count 0, no columns).
+func writeJobFrame(bw *bufio.Writer, job uint32, step int, active bool, batch *MessageBatch) error {
+	var header [jobFrameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(header[0:4], jobFrameMagic)
+	binary.LittleEndian.PutUint32(header[4:8], job)
+	binary.LittleEndian.PutUint32(header[8:12], uint32(step))
+	if active {
+		header[12] = 1
+	}
+	width, count := 0, 0
+	if batch != nil {
+		width, count = batch.Width, batch.Len()
+	}
+	if count > maxWireMessages || count*width > maxWireValues {
+		return fmt.Errorf("batch of %d messages × width %d exceeds the wire cap (%d messages, %d values)",
+			count, width, maxWireMessages, maxWireValues)
+	}
+	binary.LittleEndian.PutUint32(header[13:17], uint32(width))
+	binary.LittleEndian.PutUint32(header[17:21], uint32(count))
+	if _, err := bw.Write(header[:]); err != nil {
+		return err
+	}
+	if count > 0 {
+		if err := writeColumns(bw, batch, count, width); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readJobFrame decodes one job-tagged columnar frame. A non-empty frame
+// returns a pooled batch owned by the caller.
+func readJobFrame(br *bufio.Reader) (job uint32, step int, active bool, batch *MessageBatch, err error) {
+	var header [jobFrameHeaderBytes]byte
+	if _, err = io.ReadFull(br, header[:]); err != nil {
+		return 0, 0, false, nil, err
+	}
+	if magic := binary.LittleEndian.Uint32(header[0:4]); magic != jobFrameMagic {
+		return 0, 0, false, nil, fmt.Errorf(
+			"bad job frame magic %#x (peer speaking a single-job wire format?)", magic)
+	}
+	job = binary.LittleEndian.Uint32(header[4:8])
+	step = int(binary.LittleEndian.Uint32(header[8:12]))
+	active = header[12] == 1
+	width := int(binary.LittleEndian.Uint32(header[13:17]))
+	count := int(binary.LittleEndian.Uint32(header[17:21]))
+	if count == 0 {
+		return job, step, active, nil, nil
+	}
+	batch, err = readColumns(br, width, count)
+	if err != nil {
+		return 0, 0, false, nil, err
+	}
+	return job, step, active, batch, nil
+}

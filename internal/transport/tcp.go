@@ -351,27 +351,34 @@ func writeFrame(bw *bufio.Writer, step int, active bool, batch *MessageBatch) er
 		return err
 	}
 	if count > 0 {
-		var prefix [4]byte
-		binary.LittleEndian.PutUint32(prefix[:], uint32(count*4))
-		if _, err := bw.Write(prefix[:]); err != nil {
-			return err
-		}
-		if err := graph.WriteBlocks(bw, count, 4, func(dst []byte, i int) {
-			binary.LittleEndian.PutUint32(dst, batch.IDs[i])
-		}); err != nil {
-			return err
-		}
-		binary.LittleEndian.PutUint32(prefix[:], uint32(count*width*8))
-		if _, err := bw.Write(prefix[:]); err != nil {
-			return err
-		}
-		if err := graph.WriteBlocks(bw, count*width, 8, func(dst []byte, i int) {
-			binary.LittleEndian.PutUint64(dst, math.Float64bits(batch.Vals[i]))
-		}); err != nil {
+		if err := writeColumns(bw, batch, count, width); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// writeColumns writes a batch's ID and value columns as two length-prefixed
+// 64 KiB-block runs — the column body shared by the single-job (v2) and
+// job-mux (v3) frame formats.
+func writeColumns(bw *bufio.Writer, batch *MessageBatch, count, width int) error {
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(count*4))
+	if _, err := bw.Write(prefix[:]); err != nil {
+		return err
+	}
+	if err := graph.WriteBlocks(bw, count, 4, func(dst []byte, i int) {
+		binary.LittleEndian.PutUint32(dst, batch.IDs[i])
+	}); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(prefix[:], uint32(count*width*8))
+	if _, err := bw.Write(prefix[:]); err != nil {
+		return err
+	}
+	return graph.WriteBlocks(bw, count*width, 8, func(dst []byte, i int) {
+		binary.LittleEndian.PutUint64(dst, math.Float64bits(batch.Vals[i]))
+	})
 }
 
 // readFrame decodes one columnar frame. A non-empty frame returns a pooled
@@ -392,42 +399,53 @@ func readFrame(br *bufio.Reader) (step int, active bool, batch *MessageBatch, er
 	if count == 0 {
 		return step, active, nil, nil
 	}
+	b, err := readColumns(br, width, count)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	return step, active, b, nil
+}
+
+// readColumns validates a frame's claimed shape and reads its ID and value
+// columns into a pooled batch owned by the caller — the column body shared
+// by the single-job (v2) and job-mux (v3) frame formats.
+func readColumns(br *bufio.Reader, width, count int) (*MessageBatch, error) {
 	if width < 1 || width > maxWireWidth {
-		return 0, false, nil, fmt.Errorf("frame width %d out of range [1,%d]", width, maxWireWidth)
+		return nil, fmt.Errorf("frame width %d out of range [1,%d]", width, maxWireWidth)
 	}
 	if count < 0 || count > maxWireMessages || count*width > maxWireValues {
-		return 0, false, nil, fmt.Errorf("frame of %d messages × width %d exceeds the wire cap",
+		return nil, fmt.Errorf("frame of %d messages × width %d exceeds the wire cap",
 			count, width)
 	}
 	var prefix [4]byte
-	if _, err = io.ReadFull(br, prefix[:]); err != nil {
-		return 0, false, nil, err
+	if _, err := io.ReadFull(br, prefix[:]); err != nil {
+		return nil, err
 	}
 	if got := int(binary.LittleEndian.Uint32(prefix[:])); got != count*4 {
-		return 0, false, nil, fmt.Errorf("id column is %d bytes, want %d", got, count*4)
+		return nil, fmt.Errorf("id column is %d bytes, want %d", got, count*4)
 	}
 	b := GetBatch(width)
 	b.IDs = slices.Grow(b.IDs, count)[:count]
 	b.Vals = slices.Grow(b.Vals, count*width)[:count*width]
-	if err = graph.ReadBlocks(br, count, 4, func(src []byte, i int) {
+	if err := graph.ReadBlocks(br, count, 4, func(src []byte, i int) {
 		b.IDs[i] = binary.LittleEndian.Uint32(src)
 	}); err != nil {
 		RecycleBatch(b)
-		return 0, false, nil, err
+		return nil, err
 	}
-	if _, err = io.ReadFull(br, prefix[:]); err != nil {
+	if _, err := io.ReadFull(br, prefix[:]); err != nil {
 		RecycleBatch(b)
-		return 0, false, nil, err
+		return nil, err
 	}
 	if got := int(binary.LittleEndian.Uint32(prefix[:])); got != count*width*8 {
 		RecycleBatch(b)
-		return 0, false, nil, fmt.Errorf("value column is %d bytes, want %d", got, count*width*8)
+		return nil, fmt.Errorf("value column is %d bytes, want %d", got, count*width*8)
 	}
-	if err = graph.ReadBlocks(br, count*width, 8, func(src []byte, i int) {
+	if err := graph.ReadBlocks(br, count*width, 8, func(src []byte, i int) {
 		b.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(src))
 	}); err != nil {
 		RecycleBatch(b)
-		return 0, false, nil, err
+		return nil, err
 	}
-	return step, active, b, nil
+	return b, nil
 }

@@ -13,7 +13,6 @@ import (
 	"ebv/internal/core"
 	"ebv/internal/graph"
 	"ebv/internal/partition"
-	"ebv/internal/transport"
 )
 
 // PipelineStage names one stage of a Pipeline run, in execution order:
@@ -98,6 +97,7 @@ type Pipeline struct {
 	partitioner partition.Partitioner
 	assignment  *partition.Assignment
 	k           int
+	kSet        bool
 
 	weights     graph.EdgeWeights
 	progress    func(PipelineProgress)
@@ -192,9 +192,12 @@ func UseAssignment(a *Assignment) PipelineOption {
 	return func(p *Pipeline) { p.assignment = a }
 }
 
-// Subgraphs sets the number of subgraphs/workers k (default 8).
+// Subgraphs sets the number of subgraphs/workers k (default 8). Combined
+// with UseAssignment, k must match the assignment's part count — a
+// mismatch fails Prepare/Run/Open with a clear error instead of silently
+// following the assignment.
 func Subgraphs(k int) PipelineOption {
-	return func(p *Pipeline) { p.k = k }
+	return func(p *Pipeline) { p.k, p.kSet = k, true }
 }
 
 // Parallelism bounds the number of CPUs the data-plane stages use: the
@@ -308,6 +311,10 @@ func (p *Pipeline) prepare(ctx context.Context, build bool) (*PipelineResult, er
 	if p.assignment != nil {
 		res.Assignment = p.assignment
 		res.PartitionerName = "precomputed"
+		if p.kSet && p.k != res.Assignment.K {
+			return nil, fmt.Errorf("ebv: pipeline: Subgraphs(%d) conflicts with UseAssignment's %d parts (drop Subgraphs or match the assignment)",
+				p.k, res.Assignment.K)
+		}
 		if len(res.Assignment.Parts) != res.Graph.NumEdges() {
 			return nil, fmt.Errorf("ebv: pipeline: assignment covers %d edges, graph has %d",
 				len(res.Assignment.Parts), res.Graph.NumEdges())
@@ -362,6 +369,13 @@ func (p *Pipeline) prepare(ctx context.Context, build bool) (*PipelineResult, er
 // Run executes the full pipeline: Prepare (load → partition → metrics →
 // build) followed by prog on the BSP engine. Canceling ctx mid-partition or
 // mid-superstep aborts the run and returns ctx.Err().
+//
+// Run is the one-shot form of the Session API — it opens a Session,
+// serves prog as its only job and closes it (WithTransports keeps its
+// legacy meaning: the run executes directly over the supplied transports
+// instead). Callers running several programs over the same graph should
+// call Open once and Session.Run per program, amortizing the partition and
+// build cost.
 func (p *Pipeline) Run(ctx context.Context, prog Program) (*PipelineResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -370,33 +384,39 @@ func (p *Pipeline) Run(ctx context.Context, prog Program) (*PipelineResult, erro
 		return nil, errors.New("ebv: pipeline: nil program")
 	}
 	if p.valueWidth < 0 {
-		return nil, fmt.Errorf("ebv: pipeline: value width %d invalid: must be >= 1", p.valueWidth)
+		return nil, fmt.Errorf("ebv: pipeline: value width %d invalid: must be >= 1 (or 0 for the default of 1)",
+			p.valueWidth)
 	}
+	if cfg := bsp.NewConfig(p.runOpts...); len(cfg.Transports) > 0 {
+		return p.runWithTransports(ctx, prog, cfg)
+	}
+
+	s, err := p.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	job, err := s.Run(ctx, prog)
+	if err != nil {
+		return nil, err
+	}
+	res := s.Prepared()
+	res.BSP = job.BSP
+	res.RunTime = job.RunTime
+	return res, nil
+}
+
+// runWithTransports is the legacy one-shot execution over caller-supplied
+// transports (WithRun(WithTransports(...))): no session, no job mux — the
+// engine takes the transports as-is and they are single-run.
+func (p *Pipeline) runWithTransports(ctx context.Context, prog Program, cfg bsp.Config) (*PipelineResult, error) {
 	res, err := p.prepare(ctx, true)
 	if err != nil {
 		return nil, err
 	}
-
-	cfg := bsp.NewConfig(p.runOpts...)
 	if p.valueWidth != 0 {
 		cfg.ValueWidth = p.valueWidth
 	}
-	if p.useTCP && len(cfg.Transports) == 0 {
-		mesh, err := transport.NewTCPMeshCtx(ctx, res.Assignment.K)
-		if err != nil {
-			return nil, fmt.Errorf("ebv: pipeline tcp mesh: %w", err)
-		}
-		defer func() {
-			for _, tr := range mesh {
-				_ = tr.Close()
-			}
-		}()
-		cfg.Transports = make([]transport.Transport, len(mesh))
-		for i, tr := range mesh {
-			cfg.Transports[i] = tr
-		}
-	}
-
 	if err := p.stage(ctx, StageRun, prog.Name(), &res.RunTime, func() (int64, error) {
 		out, err := bsp.RunCtx(ctx, res.Subgraphs, prog, cfg)
 		if err != nil {
