@@ -376,11 +376,70 @@ func BenchmarkPipelineEndToEnd(b *testing.B) {
 	}
 }
 
+// benchFanIn is the high-fan-in messaging kernel of the combiner bench: R
+// rounds of per-edge rows shipped to each destination vertex's master and
+// summed there — the vertex-centric traffic pattern whose duplicate-ID
+// rows a sender-side SumCombiner collapses (the replica-sync apps emit
+// unique-ID batches, so their combining win is receiver-side only).
+type benchFanIn struct{ Rounds int }
+
+func (*benchFanIn) Name() string { return "FANIN" }
+
+func (*benchFanIn) MessageCombiner() transport.Combiner { return transport.SumCombiner{} }
+
+func (p *benchFanIn) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
+	rounds := p.Rounds
+	if rounds <= 0 {
+		rounds = 4
+	}
+	return &benchFanInWorker{sub: sub, env: env, rounds: rounds, acc: make([]float64, sub.NumLocalVertices())}
+}
+
+type benchFanInWorker struct {
+	sub    *bsp.Subgraph
+	env    bsp.Env
+	rounds int
+	acc    []float64
+}
+
+func (w *benchFanInWorker) Superstep(step int, in *transport.MessageBatch) ([]*transport.MessageBatch, bool) {
+	self := int32(w.sub.Part)
+	for i, gid := range in.IDs {
+		if local, ok := w.sub.LocalOf(gid); ok && w.sub.Master(local) == self {
+			w.acc[local] += in.Scalar(i)
+		}
+	}
+	if step%2 != 0 || step/2 >= w.rounds {
+		return nil, step/2 < w.rounds
+	}
+	out := make([]*transport.MessageBatch, w.sub.NumWorkers)
+	for _, e := range w.sub.Edges {
+		master := w.sub.Master(int32(e.Dst))
+		if out[master] == nil {
+			out[master] = w.env.NewBatch()
+		}
+		out[master].AppendScalar(w.sub.GlobalIDs[e.Dst], 1)
+	}
+	return out, true
+}
+
+func (w *benchFanInWorker) Values() *graph.ValueMatrix {
+	vals := w.env.NewValues(w.sub.NumLocalVertices())
+	for l, v := range w.acc {
+		vals.SetScalar(l, v)
+	}
+	return vals
+}
+
 // BenchmarkMessageDelivery measures the message plane end-to-end: CC and
 // PageRank to quiescence over a fixed EBV partition, on the in-memory
 // router and the TCP loopback mesh — the delivery-throughput numbers
 // EXPERIMENTS.md tracks across message-plane changes. The width axis shows
-// the columnar batches' marginal cost of vector payloads (Aggregate).
+// the columnar batches' marginal cost of vector payloads (Aggregate); the
+// combine axis shows sender/receiver message combining (off vs each
+// program's natural combiner), with the FANIN kernel supplying the
+// duplicate-heavy traffic where sender-side coalescing shrinks the wire.
+// The wire and delivered row counts are reported as metrics.
 func BenchmarkMessageDelivery(b *testing.B) {
 	g := ablationGraph(b)
 	a, err := core.New().Partition(g, 8)
@@ -399,43 +458,47 @@ func BenchmarkMessageDelivery(b *testing.B) {
 		{"CC", func() bsp.Program { return &apps.CC{} }, 1},
 		{"PR", func() bsp.Program { return &apps.PageRank{Iterations: 8} }, 1},
 		{"AGGw8", func() bsp.Program { return &apps.Aggregate{Layers: 2} }, 8},
+		{"FANIN", func() bsp.Program { return &benchFanIn{} }, 1},
 	}
 	for _, tc := range cases {
 		for _, tr := range []string{"mem", "tcp"} {
-			b.Run(fmt.Sprintf("%s/%s", tc.name, tr), func(b *testing.B) {
-				var msgs int64
-				for i := 0; i < b.N; i++ {
-					cfg := bsp.Config{ValueWidth: tc.width}
-					if tr == "tcp" {
-						// Mesh setup/teardown is connection plumbing, not
-						// message delivery: keep it off the clock.
-						b.StopTimer()
-						mesh, err := transport.NewTCPMesh(8)
+			for _, combine := range []string{"off", "auto"} {
+				b.Run(fmt.Sprintf("%s/%s/combine=%s", tc.name, tr, combine), func(b *testing.B) {
+					var counts bsp.MessageCounts
+					for i := 0; i < b.N; i++ {
+						cfg := bsp.Config{ValueWidth: tc.width, AutoCombine: combine == "auto"}
+						if tr == "tcp" {
+							// Mesh setup/teardown is connection plumbing, not
+							// message delivery: keep it off the clock.
+							b.StopTimer()
+							mesh, err := transport.NewTCPMesh(8)
+							if err != nil {
+								b.Fatal(err)
+							}
+							trs := make([]transport.Transport, 8)
+							for j := range trs {
+								trs[j] = mesh[j]
+							}
+							cfg.Transports = trs
+							b.StartTimer()
+						}
+						res, err := bsp.Run(subs, tc.prog(), cfg)
 						if err != nil {
 							b.Fatal(err)
 						}
-						trs := make([]transport.Transport, 8)
-						for j := range trs {
-							trs[j] = mesh[j]
+						counts = res.MessageCounts()
+						if len(cfg.Transports) > 0 {
+							b.StopTimer()
+							for _, t := range cfg.Transports {
+								_ = t.Close()
+							}
+							b.StartTimer()
 						}
-						cfg.Transports = trs
-						b.StartTimer()
 					}
-					res, err := bsp.Run(subs, tc.prog(), cfg)
-					if err != nil {
-						b.Fatal(err)
-					}
-					msgs = res.TotalMessages()
-					if len(cfg.Transports) > 0 {
-						b.StopTimer()
-						for _, t := range cfg.Transports {
-							_ = t.Close()
-						}
-						b.StartTimer()
-					}
-				}
-				b.ReportMetric(float64(msgs), "messages")
-			})
+					b.ReportMetric(float64(counts.Wire), "messages")
+					b.ReportMetric(float64(counts.Delivered), "delivered")
+				})
+			}
 		}
 	}
 }

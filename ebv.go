@@ -242,6 +242,17 @@ type (
 	WorkerEnv = bsp.Env
 	// Transport moves message batches between workers.
 	Transport = transport.Transport
+	// MessageCombiner reduces duplicate-ID message rows at the sender and
+	// receiver (bsp.Config.Combiner / the Combiner RunOption).
+	MessageCombiner = transport.Combiner
+	// MinCombiner / SumCombiner / ElementwiseSumCombiner are the built-in
+	// combiners (elementwise min, scalar column-0 sum, whole-row sum).
+	MinCombiner            = transport.MinCombiner
+	SumCombiner            = transport.SumCombiner
+	ElementwiseSumCombiner = transport.ElementwiseSumCombiner
+	// MessageCounts reports a run's pre/post-combine message-row counts
+	// (RunResult.MessageCounts).
+	MessageCounts = bsp.MessageCounts
 	// TransportDeployment is a long-lived transport mesh serving many
 	// jobs through job-scoped exchanges (the transport half of Session).
 	TransportDeployment = transport.Deployment
@@ -291,6 +302,14 @@ var (
 	WithTransports          = bsp.WithTransports
 	WithValueWidth          = bsp.WithValueWidth
 	WithReplicaVerification = bsp.WithReplicaVerification
+	// Combiner sets an explicit per-job message combiner; AutoCombine
+	// selects each program's declared one (CC/SSSP/WSSSP → min, PR → sum,
+	// Aggregate → elementwise sum). Combining is semantically transparent:
+	// results are byte-identical with it on or off, but duplicate-ID rows
+	// are reduced before the wire and before the program's inbox
+	// (RunResult.MessageCounts reports the reduction).
+	Combiner    = bsp.WithCombiner
+	AutoCombine = bsp.WithAutoCombine
 	// NewValueMatrix allocates a zeroed rows×width value matrix.
 	NewValueMatrix = graph.NewValueMatrix
 	// GetMessageBatch / RecycleMessageBatch expose the pooled batch

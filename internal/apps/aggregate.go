@@ -29,9 +29,16 @@ type Aggregate struct {
 }
 
 var _ bsp.Program = (*Aggregate)(nil)
+var _ bsp.CombinerProvider = (*Aggregate)(nil)
 
 // Name implements bsp.Program.
 func (a *Aggregate) Name() string { return "Aggregate" }
+
+// MessageCombiner implements bsp.CombinerProvider: feature partials fold
+// with elementwise (whole-row) addition.
+func (a *Aggregate) MessageCombiner() transport.Combiner {
+	return transport.ElementwiseSumCombiner{}
+}
 
 func (a *Aggregate) layers() int {
 	if a.Layers <= 0 {
@@ -62,6 +69,7 @@ func (a *Aggregate) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram 
 		layers:  a.layers(),
 		h:       env.NewValues(n),
 		partial: env.NewValues(n),
+		inAcc:   env.NewValues(n),
 	}
 	feature := a.feature()
 	for l := 0; l < n; l++ {
@@ -72,11 +80,16 @@ func (a *Aggregate) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram 
 }
 
 type aggWorker struct {
-	sub        *bsp.Subgraph
-	env        bsp.Env
-	layers     int
-	h          *graph.ValueMatrix
-	partial    *graph.ValueMatrix
+	sub     *bsp.Subgraph
+	env     bsp.Env
+	layers  int
+	h       *graph.ValueMatrix
+	partial *graph.ValueMatrix
+	// inAcc accumulates the apply step's incoming mirror partials into a
+	// zeroed matrix (instead of straight into partial), so the per-vertex
+	// sum grouping — and therefore the result bits — is identical whether
+	// or not the exchange pre-combined duplicate rows.
+	inAcc      *graph.ValueMatrix
 	replicated []int32
 }
 
@@ -118,9 +131,12 @@ func (w *aggWorker) Superstep(step int, in *transport.MessageBatch) (out []*tran
 		return out, true
 	}
 
+	for i := range w.inAcc.Data {
+		w.inAcc.Data[i] = 0
+	}
 	for i, gid := range in.IDs {
 		if local, ok := w.sub.LocalOf(gid); ok {
-			addRow(w.partial.Row(int(local)), in.Row(i))
+			addRow(w.inAcc.Row(int(local)), in.Row(i))
 		}
 	}
 	self := int32(w.sub.Part)
@@ -131,9 +147,9 @@ func (w *aggWorker) Superstep(step int, in *transport.MessageBatch) (out []*tran
 			continue
 		}
 		norm := float64(1 + w.sub.GlobalInDegree[l])
-		hRow, pRow := w.h.Row(l), w.partial.Row(l)
+		hRow, pRow, accRow := w.h.Row(l), w.partial.Row(l), w.inAcc.Row(l)
 		for j := range hRow {
-			hRow[j] = (hRow[j] + pRow[j]) / norm
+			hRow[j] = (hRow[j] + pRow[j] + accRow[j]) / norm
 		}
 		gid := w.sub.GlobalIDs[l]
 		for _, peer := range w.sub.ReplicaPeers[local] {

@@ -34,9 +34,15 @@ type PageRank struct {
 }
 
 var _ bsp.Program = (*PageRank)(nil)
+var _ bsp.CombinerProvider = (*PageRank)(nil)
 
 // Name implements bsp.Program.
 func (p *PageRank) Name() string { return "PR" }
+
+// MessageCombiner implements bsp.CombinerProvider: mirror partials fold
+// with scalar addition. (The apply→gather scatter messages carry unique
+// ids per destination, so the combiner never fires on them.)
+func (p *PageRank) MessageCombiner() transport.Combiner { return transport.SumCombiner{} }
 
 // NewWorker implements bsp.Program.
 func (p *PageRank) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
@@ -56,6 +62,7 @@ func (p *PageRank) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
 		damping: damping,
 		rank:    make([]float64, n),
 		partial: make([]float64, n),
+		inSum:   make([]float64, n),
 	}
 	init := 1 / float64(sub.NumGlobalVertices)
 	for i := range w.rank {
@@ -66,12 +73,18 @@ func (p *PageRank) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
 }
 
 type prWorker struct {
-	sub        *bsp.Subgraph
-	env        bsp.Env
-	iters      int
-	damping    float64
-	rank       []float64
-	partial    []float64
+	sub     *bsp.Subgraph
+	env     bsp.Env
+	iters   int
+	damping float64
+	rank    []float64
+	partial []float64
+	// inSum accumulates the apply step's incoming mirror partials. Folding
+	// them into a zeroed accumulator (instead of straight into partial)
+	// keeps the per-vertex sum grouping identical whether or not the
+	// exchange pre-combined duplicate rows, so combiner-on and -off runs
+	// are byte-identical.
+	inSum      []float64
 	replicated []int32
 }
 
@@ -109,9 +122,12 @@ func (w *prWorker) Superstep(step int, in *transport.MessageBatch) (out []*trans
 	}
 
 	// Apply: masters fold in mirror partials, update, scatter.
+	for i := range w.inSum {
+		w.inSum[i] = 0
+	}
 	for i, gid := range in.IDs {
 		if local, ok := w.sub.LocalOf(gid); ok {
-			w.partial[local] += in.Scalar(i)
+			w.inSum[local] += in.Scalar(i)
 		}
 	}
 	base := (1 - w.damping) / float64(w.sub.NumGlobalVertices)
@@ -122,7 +138,7 @@ func (w *prWorker) Superstep(step int, in *transport.MessageBatch) (out []*trans
 		if w.sub.Master(local) != self {
 			continue // mirrors receive their rank next step
 		}
-		w.rank[l] = base + w.damping*w.partial[l]
+		w.rank[l] = base + w.damping*(w.partial[l]+w.inSum[l])
 		gid := w.sub.GlobalIDs[l]
 		for _, peer := range w.sub.ReplicaPeers[local] {
 			outBatch(out, peer, w.env).AppendScalar(gid, w.rank[l])

@@ -22,9 +22,13 @@ type SSSP struct {
 }
 
 var _ bsp.Program = (*SSSP)(nil)
+var _ bsp.CombinerProvider = (*SSSP)(nil)
 
 // Name implements bsp.Program.
 func (s *SSSP) Name() string { return "SSSP" }
+
+// MessageCombiner implements bsp.CombinerProvider: distances fold with min.
+func (s *SSSP) MessageCombiner() transport.Combiner { return transport.MinCombiner{} }
 
 // NewWorker implements bsp.Program.
 func (s *SSSP) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {

@@ -22,9 +22,13 @@ type WeightedSSSP struct {
 }
 
 var _ bsp.Program = (*WeightedSSSP)(nil)
+var _ bsp.CombinerProvider = (*WeightedSSSP)(nil)
 
 // Name implements bsp.Program.
 func (s *WeightedSSSP) Name() string { return "WSSSP" }
+
+// MessageCombiner implements bsp.CombinerProvider: distances fold with min.
+func (s *WeightedSSSP) MessageCombiner() transport.Combiner { return transport.MinCombiner{} }
 
 // NewWorker implements bsp.Program.
 func (s *WeightedSSSP) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {

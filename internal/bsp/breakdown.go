@@ -67,13 +67,45 @@ func (r *Result) DeltaC() time.Duration {
 }
 
 // TotalMessages returns the total number of messages sent between workers
-// over the whole run (Table IV).
+// over the whole run (Table IV) — the rows that actually crossed the
+// exchange, i.e. after sender-side combining when a combiner is
+// configured. MessageCounts breaks the pre/post-combine counts apart.
 func (r *Result) TotalMessages() int64 {
 	var total int64
 	for i := range r.Workers {
 		total += r.Workers[i].TotalSent()
 	}
 	return total
+}
+
+// MessageCounts aggregates a run's cross-worker message rows at the three
+// measurement points of the combiner path, so combining's reduction can be
+// reported honestly: Emitted ≥ Wire always (sender-side combining), and
+// Delivered ≤ Wire (receiver-side combining). Without a combiner all
+// three are equal.
+type MessageCounts struct {
+	// Emitted counts the rows programs produced for other workers, before
+	// any combining.
+	Emitted int64
+	// Wire counts the rows that crossed the exchange (post sender-side
+	// combining) — the platform-independent network-volume metric
+	// TotalMessages reports.
+	Wire int64
+	// Delivered counts the rows that survived receiver-side combining
+	// into the programs' inboxes.
+	Delivered int64
+}
+
+// MessageCounts returns the run's pre/post-combine message accounting.
+func (r *Result) MessageCounts() MessageCounts {
+	var c MessageCounts
+	for i := range r.Workers {
+		w := &r.Workers[i]
+		c.Emitted += w.TotalEmitted()
+		c.Wire += w.TotalSent()
+		c.Delivered += w.TotalDelivered()
+	}
+	return c
 }
 
 // MaxMeanMessageRatio returns max_i(sent_i) / mean_i(sent_i), the paper's

@@ -66,6 +66,16 @@ type WorkerProgram interface {
 // ErrMaxSteps reports that a run hit the superstep safety cap.
 var ErrMaxSteps = errors.New("bsp: exceeded max supersteps without converging")
 
+// CombinerProvider is implemented by Programs that declare the natural
+// combiner of their messages (CC/SSSP/WeightedSSSP → min, PageRank → sum,
+// Aggregate → elementwise sum). Config.AutoCombine uses it; an explicit
+// Config.Combiner overrides it.
+type CombinerProvider interface {
+	// MessageCombiner returns the combiner that may reduce this program's
+	// messages without changing its results (nil = none).
+	MessageCombiner() transport.Combiner
+}
+
 // Config tunes a Run. The zero value selects the defaults; it can be
 // populated either as a struct literal (the legacy form, still supported)
 // or with the functional options accepted by NewConfig.
@@ -84,6 +94,14 @@ type Config struct {
 	// of the same vertex disagree. Tests enable it; benches do not pay
 	// for it.
 	VerifyReplicaAgreement bool
+	// Combiner, when non-nil, reduces duplicate-ID message rows sender-side
+	// (inside each outgoing batch, before the exchange) and receiver-side
+	// (while merging the per-source inboxes). See transport.Combiner for
+	// the exactness contract; Result.MessageCounts reports the reduction.
+	Combiner transport.Combiner
+	// AutoCombine selects the program's declared combiner (CombinerProvider)
+	// when Combiner is nil. Programs without one run uncombined.
+	AutoCombine bool
 }
 
 // Option configures a Config functionally.
@@ -121,6 +139,32 @@ func WithReplicaVerification(on bool) Option {
 	return func(c *Config) { c.VerifyReplicaAgreement = on }
 }
 
+// WithCombiner sets an explicit message combiner (nil clears it; see
+// Config.Combiner).
+func WithCombiner(c transport.Combiner) Option {
+	return func(cfg *Config) { cfg.Combiner = c }
+}
+
+// WithAutoCombine makes the run use the program's declared combiner, if
+// any (see Config.AutoCombine).
+func WithAutoCombine(on bool) Option {
+	return func(c *Config) { c.AutoCombine = on }
+}
+
+// combiner resolves the run's message combiner for prog: an explicit
+// Config.Combiner wins; otherwise AutoCombine consults the program.
+func (c Config) combiner(prog Program) transport.Combiner {
+	if c.Combiner != nil {
+		return c.Combiner
+	}
+	if c.AutoCombine {
+		if cp, ok := prog.(CombinerProvider); ok {
+			return cp.MessageCombiner()
+		}
+	}
+	return nil
+}
+
 // maxSteps resolves the superstep safety cap (<= 0 selects the default),
 // shared by every entry point so one-shot runs, distributed workers and
 // deployment jobs agree on the cap.
@@ -156,17 +200,38 @@ type WorkerStats struct {
 	Comp []time.Duration
 	Comm []time.Duration
 	Sync []time.Duration
-	// Sent[k] counts messages sent in superstep k to OTHER workers.
+	// Sent[k] counts messages sent in superstep k to OTHER workers —
+	// rows actually handed to the exchange, i.e. after sender-side
+	// combining (equal to Emitted[k] when no combiner is configured).
 	Sent []int64
-	// Received[k] counts messages received from other workers.
+	// Emitted[k] counts the rows the program produced for other workers
+	// in superstep k, before sender-side combining.
+	Emitted []int64
+	// Received[k] counts messages received from other workers — rows as
+	// they crossed the exchange, before receiver-side combining.
 	Received []int64
+	// Delivered[k] counts the rows from other workers that survived
+	// receiver-side combining into superstep k+1's inbox (equal to
+	// Received[k] when no combiner is configured).
+	Delivered []int64
 }
 
-// TotalSent sums messages sent across supersteps.
-func (w *WorkerStats) TotalSent() int64 {
+// TotalSent sums messages sent across supersteps (post sender-side
+// combining — the wire count).
+func (w *WorkerStats) TotalSent() int64 { return sumInt64(w.Sent) }
+
+// TotalEmitted sums program-emitted cross-worker rows across supersteps
+// (pre-combining).
+func (w *WorkerStats) TotalEmitted() int64 { return sumInt64(w.Emitted) }
+
+// TotalDelivered sums the cross-worker rows that survived receiver-side
+// combining across supersteps.
+func (w *WorkerStats) TotalDelivered() int64 { return sumInt64(w.Delivered) }
+
+func sumInt64(xs []int64) int64 {
 	var total int64
-	for _, s := range w.Sent {
-		total += s
+	for _, x := range xs {
+		total += x
 	}
 	return total
 }
@@ -250,7 +315,7 @@ func RunCtx(ctx context.Context, subs []*Subgraph, prog Program, cfg Config) (*R
 		return nil, err
 	}
 	defer cleanup()
-	return executeJob(ctx, subs, prog, transports, cfg.maxSteps(), width, cfg.VerifyReplicaAgreement)
+	return executeJob(ctx, subs, prog, transports, cfg.maxSteps(), width, cfg.combiner(prog), cfg.VerifyReplicaAgreement)
 }
 
 // executeJob runs one job — prog over subs, one transport per worker —
@@ -262,7 +327,7 @@ func RunCtx(ctx context.Context, subs []*Subgraph, prog Program, cfg Config) (*R
 // calls over the same subgraphs are safe — subgraphs are immutable at run
 // time and all per-job state lives here.
 func executeJob(ctx context.Context, subs []*Subgraph, prog Program,
-	transports []transport.Transport, maxSteps, width int, verify bool) (*Result, error) {
+	transports []transport.Transport, maxSteps, width int, comb transport.Combiner, verify bool) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -294,7 +359,7 @@ func executeJob(ctx context.Context, subs []*Subgraph, prog Program,
 		go func(w int) {
 			defer wg.Done()
 			steps[w], workerValues[w], errs[w] =
-				runWorker(workerCtx, w, subs[w], prog, transports[w], maxSteps, width, &res.Workers[w])
+				runWorker(workerCtx, w, subs[w], prog, transports[w], maxSteps, width, comb, &res.Workers[w])
 			if errs[w] != nil {
 				failRun() // release peers blocked in the exchange
 			}
@@ -379,8 +444,35 @@ func resolveTransports(cfg Config, k int) ([]transport.Transport, func(), error)
 // runWorker is the per-worker superstep loop. It returns the executed
 // superstep count and the final local value matrix.
 func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr transport.Transport,
-	maxSteps, width int, stats *WorkerStats) (int, *graph.ValueMatrix, error) {
+	maxSteps, width int, comb transport.Combiner, stats *WorkerStats) (int, *graph.ValueMatrix, error) {
 	wp := prog.NewWorker(sub, Env{ValueWidth: width})
+	// The combiner's scratch index is per-worker and lives for the whole
+	// run, serving both combining points — the sender-side coalesce of
+	// each outgoing batch and the receiver-side inbox merge — whose
+	// scopes never overlap within a step (coalescing strictly precedes
+	// Exchange, merging strictly follows it, and Begin resets the scope).
+	// Dense O(1) probes when the global id space is within 16× the local
+	// vertex count (the LocalOf density gate), a map otherwise.
+	var combIdx *transport.CombineIndex
+	if comb != nil {
+		denseSize := 0
+		if locals := sub.NumLocalVertices(); locals > 0 && sub.NumGlobalVertices <= 16*locals {
+			denseSize = sub.NumGlobalVertices
+		}
+		combIdx = transport.NewCombineIndex(denseSize)
+	}
+	// Sender-side combining is adaptive: after senderProbeSteps consecutive
+	// steps in which a real duplicate scan (at least senderProbeMinRows
+	// rows across coalescible batches — steps emitting only sub-2-row
+	// batches are no evidence) removed nothing (the replica-sync apps'
+	// unique-ID batches), the per-batch scan is skipped for the rest of
+	// the run. Receiver-side combining stays on.
+	const (
+		senderProbeSteps   = 2
+		senderProbeMinRows = 8
+	)
+	senderCombine := comb != nil
+	dupFreeSteps := 0
 	// The inbox batch concatenates the step's incoming batches; it cycles
 	// through the pool every step, so the poison debug mode scribbles it
 	// between supersteps (enforcing the "in is only valid during the
@@ -398,21 +490,46 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 		out, active := wp.Superstep(step, inbox)
 		comp := time.Since(t0)
 
-		var sent int64
+		var emitted int64
 		selfPending := false
 		for dst, batch := range out {
 			if err := batch.Check(width); err != nil {
 				return step, nil, fmt.Errorf("superstep %d outbox %d: %w", step, dst, err)
 			}
 			if dst != w {
-				sent += int64(batch.Len())
+				emitted += int64(batch.Len())
 			} else if batch.Len() > 0 {
 				selfPending = true
 			}
 		}
 		// A worker with outbound messages must stay active so receivers
-		// get a superstep to process them.
-		effectiveActive := active || sent > 0 || selfPending
+		// get a superstep to process them. (Decided pre-combine, though it
+		// cannot differ: coalescing never empties a non-empty batch.)
+		effectiveActive := active || emitted > 0 || selfPending
+
+		// Sender-side combining: coalesce duplicate-ID rows inside each
+		// outgoing batch so only the reduced rows reach the exchange.
+		sent := emitted
+		if senderCombine && (emitted > 0 || selfPending) {
+			removed, scannedRows := 0, 0
+			sent = 0
+			for dst, batch := range out {
+				if batch.Len() > 1 {
+					scannedRows += batch.Len()
+					removed += batch.Coalesce(comb, combIdx)
+				}
+				if dst != w {
+					sent += int64(batch.Len())
+				}
+			}
+			if removed > 0 {
+				dupFreeSteps = 0
+			} else if scannedRows >= senderProbeMinRows {
+				if dupFreeSteps++; dupFreeSteps >= senderProbeSteps {
+					senderCombine = false
+				}
+			}
+		}
 
 		t1 := time.Now()
 		ex, err := tr.Exchange(w, step, out, effectiveActive)
@@ -431,10 +548,14 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 		}
 
 		// Delivery loop: concatenate the incoming batches into the inbox
-		// (columnar bulk appends) and recycle them.
+		// (columnar bulk appends; with a combiner, duplicate-ID rows from
+		// different sources fold in source order instead) and recycle them.
 		transport.RecycleBatch(inbox)
 		inbox = transport.GetBatch(width)
-		var received int64
+		if comb != nil {
+			combIdx.Begin()
+		}
+		var received, delivered int64
 		for src, batch := range ex.In {
 			if batch == nil {
 				continue
@@ -442,10 +563,16 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 			if err := batch.Check(width); err != nil {
 				return step, nil, fmt.Errorf("superstep %d from worker %d: %w", step, src, err)
 			}
+			n := int64(batch.Len())
+			if comb != nil {
+				n = int64(inbox.AppendBatchCombining(batch, comb, combIdx))
+			} else {
+				inbox.AppendBatch(batch)
+			}
 			if src != w {
 				received += int64(batch.Len())
+				delivered += n
 			}
-			inbox.AppendBatch(batch)
 			transport.RecycleBatch(batch)
 		}
 
@@ -453,7 +580,9 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 		stats.Comm = append(stats.Comm, comm)
 		stats.Sync = append(stats.Sync, ex.Wait)
 		stats.Sent = append(stats.Sent, sent)
+		stats.Emitted = append(stats.Emitted, emitted)
 		stats.Received = append(stats.Received, received)
+		stats.Delivered = append(stats.Delivered, delivered)
 
 		if !ex.AnyActive {
 			vals := wp.Values()
@@ -489,9 +618,11 @@ type WorkerResult struct {
 
 // RunWorker executes ONE worker of a distributed computation over the
 // given transport (typically transport.NewTCPWorker); the peer workers run
-// in other processes. It blocks until global quiescence. Only cfg.MaxSteps
-// and cfg.ValueWidth are honored (the transport is explicit, and replica
-// verification needs the global view).
+// in other processes. It blocks until global quiescence. Only cfg.MaxSteps,
+// cfg.ValueWidth and the combiner settings are honored (the transport is
+// explicit, and replica verification needs the global view). Every worker
+// of a distributed run must agree on the combiner configuration — results
+// stay correct either way, but message counts and batch contents differ.
 func RunWorker(sub *Subgraph, prog Program, tr transport.Transport, cfg Config) (*WorkerResult, error) {
 	return RunWorkerCtx(context.Background(), sub, prog, tr, cfg)
 }
@@ -520,7 +651,7 @@ func RunWorkerCtx(ctx context.Context, sub *Subgraph, prog Program, tr transport
 	defer stopWatch()
 	res := &WorkerResult{}
 	start := time.Now()
-	steps, values, err := runWorker(ctx, sub.Part, sub, prog, tr, cfg.maxSteps(), width, &res.Stats)
+	steps, values, err := runWorker(ctx, sub.Part, sub, prog, tr, cfg.maxSteps(), width, cfg.combiner(prog), &res.Stats)
 	if err != nil {
 		// Mirror RunCtx's failRun: a local validation error (bad batch,
 		// mis-shaped values) leaves the transport healthy, so close it —

@@ -54,12 +54,15 @@ func (r *Table3Result) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WriteCSV writes `graph,workers,algorithm,total_messages,max_mean_ratio,
-// replication_factor` rows (shared by Tables IV and V).
+// WriteCSV writes `graph,workers,algorithm,total_messages,emitted_messages,
+// delivered_messages,max_mean_ratio,replication_factor` rows (shared by
+// Tables IV and V). total_messages is the wire count; emitted/delivered are
+// the pre/post-combine counts (equal to it when combining is off).
 func (r *MessagesResult) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"graph", "workers", "algorithm",
-		"total_messages", "max_mean_ratio", "replication_factor"}
+		"total_messages", "emitted_messages", "delivered_messages",
+		"max_mean_ratio", "replication_factor"}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -68,6 +71,8 @@ func (r *MessagesResult) WriteCSV(w io.Writer) error {
 			if err := cw.Write([]string{
 				row.Graph, strconv.Itoa(row.Workers), c.Algorithm,
 				strconv.FormatInt(c.TotalMessages, 10),
+				strconv.FormatInt(c.Emitted, 10),
+				strconv.FormatInt(c.Delivered, 10),
 				formatFloat(c.MaxMeanRatio),
 				formatFloat(c.Metrics.ReplicationFactor),
 			}); err != nil {

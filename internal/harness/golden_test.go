@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Golden-output tests for the table writers: each renders a fixed
+// synthetic result set and compares byte-for-byte against a checked-in
+// file under testdata/, so report formatting (alignment, headers, number
+// formats) cannot rot silently. Regenerate after an intentional format
+// change with:
+//
+//	go test ./internal/harness -run TestGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (create it with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its golden file (re-bless intentional changes with -update)\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	r := &Table1Result{Rows: []Table1Row{
+		{Graph: "USA-road", Type: "Undirected", NumVertices: 23947347, NumEdges: 28854312, AverageDegree: 1.2, Eta: 1.09},
+		{Graph: "LiveJournal", Type: "Directed", NumVertices: 4847571, NumEdges: 68993773, AverageDegree: 14.23, Eta: 2.65},
+		{Graph: "Twitter", Type: "Directed", NumVertices: 41652230, NumEdges: 1468365182, AverageDegree: 35.25, Eta: 1.88},
+	}}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.golden", buf.Bytes())
+}
+
+func TestGoldenTable2(t *testing.T) {
+	r := &Table2Result{Workers: 4, Rows: []Table2Row{
+		{Algorithm: "EBV", Comp: 1234567 * time.Nanosecond, Comm: 234567 * time.Nanosecond,
+			DeltaC: 45678 * time.Nanosecond, Execution: 2345678 * time.Nanosecond},
+		{Algorithm: "Ginger", Comp: 2 * time.Millisecond, Comm: 700 * time.Microsecond,
+			DeltaC: 90 * time.Microsecond, Execution: 3 * time.Millisecond,
+			ExecutionStddev: 120 * time.Microsecond},
+		{Algorithm: "METIS", Comp: 1500 * time.Microsecond, Comm: time.Second + 500*time.Millisecond,
+			DeltaC: 0, Execution: 2 * time.Second},
+	}}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2.golden", buf.Bytes())
+}
+
+func TestGoldenTable3(t *testing.T) {
+	r := &Table3Result{Rows: []Table3Row{
+		{Graph: "USA-road", Eta: 1.09, Workers: 12, Cells: []Table3Cell{
+			{Algorithm: "EBV", EdgeImbalance: 1.0, VertexImbalance: 1.02, ReplicationFactor: 1.31},
+			{Algorithm: "DBH", EdgeImbalance: 1.18, VertexImbalance: 1.27, ReplicationFactor: 2.11},
+		}},
+		{Graph: "Twitter", Eta: 1.88, Workers: 32, Cells: []Table3Cell{
+			{Algorithm: "EBV", EdgeImbalance: 1.01, VertexImbalance: 1.05, ReplicationFactor: 5.55},
+			{Algorithm: "DBH", EdgeImbalance: 1.33, VertexImbalance: 12.5, ReplicationFactor: 9.99},
+		}},
+	}}
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table3.golden", buf.Bytes())
+}

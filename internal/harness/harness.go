@@ -48,6 +48,13 @@ type Options struct {
 	// Parallelism bounds the CPUs used by the data-plane passes between
 	// partition and run (subgraph construction); <= 0 selects GOMAXPROCS.
 	Parallelism int
+	// Combine runs the BSP cells with each app's natural message combiner
+	// (bsp.Config.AutoCombine). Results are byte-identical either way; the
+	// message tables' wire counts stay paper-faithful because the
+	// replica-synchronization apps emit unique-ID batches, while the
+	// pre/post-combine cells (MessageCell.Emitted/Delivered) expose the
+	// receiver-side reduction. Default off.
+	Combine bool
 
 	// ctx carries cancellation into the experiment internals; it is set by
 	// RunCtx/RunCSVCtx/WithContext and deliberately unexported so the
@@ -88,6 +95,9 @@ func WithRepeat(n int) Option { return func(o *Options) { o.Repeat = n } }
 // WithParallelism bounds the CPUs used by the data-plane passes (subgraph
 // construction); <= 0 selects GOMAXPROCS.
 func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+// WithCombine runs the BSP cells with each app's natural message combiner.
+func WithCombine(on bool) Option { return func(o *Options) { o.Combine = on } }
 
 // WithContext attaches a cancellation context: long experiments poll it
 // between partition/run cells and abort with ctx.Err().

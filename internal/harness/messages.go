@@ -13,9 +13,19 @@ import (
 
 // MessageCell holds one partitioner's message statistics on one graph.
 type MessageCell struct {
-	Algorithm     string
+	Algorithm string
+	// TotalMessages counts the rows that crossed the exchange — the
+	// paper's platform-independent Table IV metric (post sender-side
+	// combining when Options.Combine is set).
 	TotalMessages int64
-	MaxMeanRatio  float64
+	// Emitted and Delivered are the pre-combine (program-emitted) and
+	// post-receiver-combine row counts (bsp.Result.MessageCounts), so the
+	// combiner's reduction can be reported next to the wire count. All
+	// three are equal when combining is off.
+	Emitted   int64
+	Delivered int64
+	// MaxMeanRatio is the Table V communication-balance metric.
+	MaxMeanRatio float64
 	// Metrics echoes the Table III numbers shown in parentheses in the
 	// paper's Tables IV and V.
 	Metrics Table3Cell
@@ -73,9 +83,12 @@ func computeMessages(opt Options) (*MessagesResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			counts := run.MessageCounts()
 			row.Cells = append(row.Cells, MessageCell{
 				Algorithm:     p.Name(),
-				TotalMessages: run.TotalMessages(),
+				TotalMessages: counts.Wire,
+				Emitted:       counts.Emitted,
+				Delivered:     counts.Delivered,
 				MaxMeanRatio:  run.MaxMeanMessageRatio(),
 				Metrics:       metrics,
 			})

@@ -89,7 +89,7 @@ func runBSPRepeats(g *graph.Graph, p partition.Partitioner, k int, app App, opt 
 	defer dep.Close()
 	out := make([]*bsp.Result, repeat)
 	for r := range out {
-		res, err := dep.Run(ctx, prog, bsp.Config{})
+		res, err := dep.Run(ctx, prog, bsp.Config{AutoCombine: opt.Combine})
 		if err != nil {
 			return nil, fmt.Errorf("harness: run %s over %s (job %d): %w", app, p.Name(), r+1, err)
 		}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"ebv/internal/graph"
+	"ebv/internal/transport"
 )
 
 // VertexProgram defines a vertex-centric computation over value rows of
@@ -107,6 +108,24 @@ type Config struct {
 // ErrMaxSteps reports that a run hit the superstep safety cap.
 var ErrMaxSteps = errors.New("pregel: exceeded max supersteps without converging")
 
+// CombinerOf adapts prog's Combine to the data plane's transport.Combiner
+// contract — the engine merges scratch outboxes and inboxes through it,
+// and a vertex-centric program's combiner can be reused verbatim on the
+// subgraph-centric engine (bsp.Config.Combiner).
+func CombinerOf(prog VertexProgram) transport.Combiner {
+	return progCombiner{prog: prog}
+}
+
+// progCombiner is the VertexProgram → transport.Combiner adapter: the
+// engine's private combine path expressed through the shared interface.
+type progCombiner struct{ prog VertexProgram }
+
+// Name implements transport.Combiner.
+func (c progCombiner) Name() string { return c.prog.Name() + "-combine" }
+
+// Combine implements transport.Combiner.
+func (c progCombiner) Combine(dst, src []float64) { c.prog.Combine(dst, src) }
+
 // Run executes prog over g with k workers.
 func Run(g *graph.Graph, k int, prog VertexProgram, cfg Config) (*Result, error) {
 	return RunCtx(context.Background(), g, k, prog, cfg)
@@ -184,6 +203,7 @@ func RunCtx(ctx context.Context, g *graph.Graph, k int, prog VertexProgram, cfg 
 		SentPerWorker: make([]int64, k),
 	}
 	fixed := prog.FixedSupersteps()
+	comb := CombinerOf(prog)
 
 	start := time.Now()
 	for step := 0; step < maxSteps; step++ {
@@ -224,7 +244,7 @@ func RunCtx(ctx context.Context, g *graph.Graph, k int, prog VertexProgram, cfg 
 					deliver := func(dst graph.VertexID) {
 						row := myMsg.Row(int(dst))
 						if myHas[dst] {
-							prog.Combine(row, mv)
+							comb.Combine(row, mv)
 						} else {
 							copy(row, mv)
 							myHas[dst] = true
@@ -260,7 +280,7 @@ func RunCtx(ctx context.Context, g *graph.Graph, k int, prog VertexProgram, cfg 
 					res.SentPerWorker[w]++
 				}
 				if nextHas[v] {
-					prog.Combine(nextMsg.Row(v), myMsg.Row(v))
+					comb.Combine(nextMsg.Row(v), myMsg.Row(v))
 				} else {
 					copy(nextMsg.Row(v), myMsg.Row(v))
 					nextHas[v] = true

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ebv/internal/graph"
+	"ebv/internal/transport"
 )
 
 // The three comparator programs are scalar: they use column 0 of the value
@@ -24,8 +25,9 @@ func (*CC) InitValue(v graph.VertexID, _ *graph.Graph, value []float64) { value[
 // InitiallyActive implements VertexProgram.
 func (*CC) InitiallyActive(graph.VertexID) bool { return true }
 
-// Combine implements VertexProgram.
-func (*CC) Combine(dst, src []float64) { dst[0] = math.Min(dst[0], src[0]) }
+// Combine implements VertexProgram, delegating to the data plane's
+// built-in min combiner.
+func (*CC) Combine(dst, src []float64) { transport.MinCombiner{}.Combine(dst, src) }
 
 // Compute implements VertexProgram.
 func (*CC) Compute(step int, _ graph.VertexID, value, msg []float64, hasMsg bool) bool {
@@ -70,8 +72,9 @@ func (s *SSSP) InitValue(v graph.VertexID, _ *graph.Graph, value []float64) {
 // InitiallyActive implements VertexProgram.
 func (s *SSSP) InitiallyActive(v graph.VertexID) bool { return v == s.Source }
 
-// Combine implements VertexProgram.
-func (*SSSP) Combine(dst, src []float64) { dst[0] = math.Min(dst[0], src[0]) }
+// Combine implements VertexProgram, delegating to the data plane's
+// built-in min combiner.
+func (*SSSP) Combine(dst, src []float64) { transport.MinCombiner{}.Combine(dst, src) }
 
 // Compute implements VertexProgram.
 func (*SSSP) Compute(step int, _ graph.VertexID, value, msg []float64, hasMsg bool) bool {
@@ -125,8 +128,9 @@ func (p *PageRank) InitValue(_ graph.VertexID, g *graph.Graph, value []float64) 
 // InitiallyActive implements VertexProgram.
 func (*PageRank) InitiallyActive(graph.VertexID) bool { return true }
 
-// Combine implements VertexProgram.
-func (*PageRank) Combine(dst, src []float64) { dst[0] += src[0] }
+// Combine implements VertexProgram, delegating to the data plane's
+// built-in scalar sum combiner.
+func (*PageRank) Combine(dst, src []float64) { transport.SumCombiner{}.Combine(dst, src) }
 
 // Compute implements VertexProgram.
 func (p *PageRank) Compute(step int, _ graph.VertexID, value, msg []float64, hasMsg bool) bool {

@@ -106,7 +106,11 @@ func (d *TCPMeshDeployment) OpenJob(job uint32, width int) ([]Transport, error) 
 }
 
 // Close implements Deployment: every open job fails with ErrClosed, all
-// connections close, and the demux readers are waited out.
+// connections close, and the demux readers are waited out. The cause is
+// recorded on every node before any connection closes: tearing node A
+// down makes node B's demux observe EOF on the shared connection, and
+// without the pre-marking pass a racing B could report that EOF as its
+// failure cause instead of ErrClosed.
 func (d *TCPMeshDeployment) Close() error {
 	d.mu.Lock()
 	if d.closed {
@@ -115,6 +119,9 @@ func (d *TCPMeshDeployment) Close() error {
 	}
 	d.closed = true
 	d.mu.Unlock()
+	for _, n := range d.nodes {
+		n.markFailed(ErrClosed)
+	}
 	for _, n := range d.nodes {
 		n.fail(ErrClosed)
 	}
@@ -139,10 +146,11 @@ type muxNode struct {
 	bufw   []*bufio.Writer
 	wmu    []sync.Mutex // guards bufw[peer] and frame atomicity on the wire
 
-	mu      sync.Mutex
-	jobs    map[uint32]*muxJob
-	retired map[uint32]struct{}
-	failed  error // demux death (conn error, cross-job frame); nil while healthy
+	mu       sync.Mutex
+	jobs     map[uint32]*muxJob
+	retired  map[uint32]struct{}
+	failed   error // demux death (conn error, cross-job frame); nil while healthy
+	tornDown bool  // fail already ran (jobs failed, connections closed)
 }
 
 // jobFrame is one decoded frame queued for a job's Exchange.
@@ -209,16 +217,33 @@ func (n *muxNode) failJob(j *muxJob, cause error) {
 	j.drainInboxes()
 }
 
-// fail kills the whole node: every open job fails with cause and the
-// connections close (peers observe it and fail their own demuxes — the
-// deployment-wide analogue of a crashed process). Idempotent.
+// markFailed records cause as the node's failure cause if none is set
+// yet, without tearing anything down: new jobs are rejected and a later
+// fail — whatever triggered it — reports this cause. Close uses it to
+// pre-mark every node before any connection goes down.
+func (n *muxNode) markFailed(cause error) {
+	n.mu.Lock()
+	if n.failed == nil {
+		n.failed = cause
+	}
+	n.mu.Unlock()
+}
+
+// fail kills the whole node: every open job fails and the connections
+// close (peers observe it and fail their own demuxes — the
+// deployment-wide analogue of a crashed process). Idempotent; the
+// node's first recorded cause wins over the caller's.
 func (n *muxNode) fail(cause error) {
 	n.mu.Lock()
-	if n.failed != nil {
+	if n.tornDown {
 		n.mu.Unlock()
 		return
 	}
-	n.failed = cause
+	n.tornDown = true
+	if n.failed == nil {
+		n.failed = cause
+	}
+	cause = n.failed
 	jobs := make([]*muxJob, 0, len(n.jobs))
 	for _, j := range n.jobs {
 		jobs = append(jobs, j)

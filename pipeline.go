@@ -224,6 +224,15 @@ func ValueWidth(width int) PipelineOption {
 	return func(p *Pipeline) { p.valueWidth = width }
 }
 
+// CombineMessages enables automatic message combining for every run/job of
+// the pipeline: each program's declared combiner (bsp.CombinerProvider)
+// reduces duplicate-ID message rows sender-side and receiver-side. Results
+// are byte-identical with combining on or off; per-job overrides remain
+// available via the Combiner/AutoCombine RunOptions on Session.Run.
+func CombineMessages() PipelineOption {
+	return func(p *Pipeline) { p.runOpts = append(p.runOpts, bsp.WithAutoCombine(true)) }
+}
+
 // OnProgress registers a stage-progress callback.
 func OnProgress(fn func(PipelineProgress)) PipelineOption {
 	return func(p *Pipeline) { p.progress = fn }

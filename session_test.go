@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -329,4 +330,51 @@ func TestPipelineValueWidthErrorText(t *testing.T) {
 	if _, err := sessionPipeline(t, ebv.ValueWidth(0)).Run(context.Background(), &ebv.CC{}); err != nil {
 		t.Fatalf("ValueWidth(0) must select the default: %v", err)
 	}
+}
+
+// TestSessionCombinedJobsTCPLeakNoGoroutines extends the goroutine-leak
+// checks to the serving regime this PR adds: a Session opened on the TCP
+// loopback mesh serves a cycle of combined jobs (every app's natural
+// combiner active, mixed widths) and is closed; the mesh's demux readers,
+// frame writers and worker goroutines must all exit.
+func TestSessionCombinedJobsTCPLeakNoGoroutines(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 2; cycle++ {
+		s, err := sessionPipeline(t, ebv.UseTCPLoopback(), ebv.CombineMessages()).Open(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := []struct {
+			prog ebv.Program
+			opts []ebv.RunOption
+		}{
+			{&ebv.CC{}, nil},
+			{&ebv.PageRank{Iterations: 4}, nil},
+			{&ebv.SSSP{Source: 0}, nil},
+			{&ebv.Aggregate{Layers: 2}, []ebv.RunOption{ebv.WithValueWidth(4)}},
+		}
+		for _, j := range jobs {
+			res, err := s.Run(context.Background(), j.prog, j.opts...)
+			if err != nil {
+				t.Fatalf("cycle %d, %s: %v", cycle, j.prog.Name(), err)
+			}
+			if c := res.BSP.MessageCounts(); c.Delivered > c.Wire || c.Wire > c.Emitted {
+				t.Fatalf("cycle %d, %s: combining increased counts: %+v", cycle, j.prog.Name(), c)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("cycle %d close: %v", cycle, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after combined TCP session cycles",
+		before, runtime.NumGoroutine())
 }
