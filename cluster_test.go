@@ -1,0 +1,121 @@
+// Tests for the Cluster facade: OpenCluster prepares once and serves
+// jobs to external worker agents, matching the single-process engine byte
+// for byte, with the kill -9 failover exercised at the facade level.
+package ebv_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ebv"
+)
+
+// TestOpenClusterServesJobs opens a cluster over the standard test
+// pipeline, attaches in-process agents, and checks CC and PR against
+// Pipeline.Run.
+func TestOpenClusterServesJobs(t *testing.T) {
+	ctx := context.Background()
+	c, err := sessionPipeline(t).OpenCluster(ctx, ebv.ClusterOptions{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LIFO defers: Close first (shutting the agents down), then Wait.
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer c.Close()
+	if c.NumWorkers() != 4 {
+		t.Fatalf("NumWorkers = %d, want 4", c.NumWorkers())
+	}
+
+	for i := 0; i < c.NumWorkers(); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = ebv.RunClusterAgent(ctx, ebv.ClusterAgentConfig{Coordinator: c.Addr(), Logf: t.Logf})
+		}()
+	}
+
+	for _, tc := range []struct {
+		job  ebv.ClusterJob
+		prog ebv.Program
+	}{
+		{ebv.ClusterJob{App: "CC"}, &ebv.CC{}},
+		{ebv.ClusterJob{App: "PR", Iterations: 15, Combine: true}, &ebv.PageRank{Iterations: 15}},
+	} {
+		ref, err := sessionPipeline(t, ebv.WithRun(ebv.WithReplicaVerification(true))).Run(ctx, tc.prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Run(ctx, tc.job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Attempts != 1 || got.Steps != ref.BSP.Steps || !got.Values.EqualValues(ref.BSP.Values) {
+			t.Fatalf("%s: attempts=%d steps=%d (ref %d), values match=%v",
+				tc.job.App, got.Attempts, got.Steps, ref.BSP.Steps, got.Values.EqualValues(ref.BSP.Values))
+		}
+	}
+}
+
+// TestOpenClusterFailover kills one in-process agent mid-PageRank; with a
+// checkpoint directory set the job must recover and match the clean run.
+func TestOpenClusterFailover(t *testing.T) {
+	ctx := context.Background()
+	c, err := sessionPipeline(t).OpenCluster(ctx, ebv.ClusterOptions{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer c.Close()
+
+	agents := make([]*ebv.ClusterAgent, c.NumWorkers()+1) // one hot standby
+	for i := range agents {
+		agents[i] = ebv.NewClusterAgent(ebv.ClusterAgentConfig{Coordinator: c.Addr(), Logf: t.Logf})
+		wg.Add(1)
+		go func(a *ebv.ClusterAgent) {
+			defer wg.Done()
+			_ = a.Run(ctx)
+		}(agents[i])
+	}
+
+	job := ebv.ClusterJob{
+		App: "PR", Iterations: 200, Combine: true,
+		CheckpointDir: t.TempDir(), CheckpointEvery: 6,
+	}
+	ref, err := sessionPipeline(t, ebv.WithRun(ebv.WithReplicaVerification(true))).Run(ctx, &ebv.PageRank{Iterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill an agent once checkpoints are flowing. Any registered agent
+	// works: either a partition owner dies (failover) or the standby does
+	// (nothing to recover, but the job must still finish in one attempt).
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.Now().Add(30 * time.Second)
+		for c.NumRegistered() == len(agents) {
+			if time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	go func() {
+		time.Sleep(30 * time.Millisecond) // let the job get past a few epochs
+		agents[1].Kill()
+	}()
+
+	got, err := c.Run(ctx, job)
+	<-killed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Steps != ref.BSP.Steps || !got.Values.EqualValues(ref.BSP.Values) {
+		t.Fatalf("recovered run differs: steps %d vs %d", got.Steps, ref.BSP.Steps)
+	}
+	t.Logf("PR finished after %d attempt(s), restored from epoch %d", got.Attempts, got.RestoredFrom)
+}

@@ -1,17 +1,40 @@
 // Command ebv-worker runs ONE worker of a multi-process subgraph-centric
-// BSP computation. A deployment looks like:
+// BSP computation, in either of two modes.
 //
-//  1. Partition and shard on the coordinator:
+// Coordinator mode (the normal deployment shape) needs a single flag: the
+// worker registers with an ebv-coordinator, receives its subgraph shard
+// over the control connection, and serves jobs until the coordinator
+// exits — no shard files, no -peers list, no worker ids to keep in sync:
+//
+//	ebv-coordinator -in graph.txt -algo EBV -parts 3 -listen 127.0.0.1:9090 \
+//	    -app CC -out cc.txt &
+//	ebv-worker -coordinator 127.0.0.1:9090 &
+//	ebv-worker -coordinator 127.0.0.1:9090 &
+//	ebv-worker -coordinator 127.0.0.1:9090 &
+//
+// Extra workers beyond the partition count register as hot standbys. If a
+// worker dies mid-job (kill -9 included) the coordinator reassigns its
+// partition and, when the job checkpoints (-checkpoint-dir on the
+// coordinator), resumes from the latest complete epoch; results are
+// byte-identical to an uninterrupted run. Job results are assembled and
+// written by the coordinator; this process only logs progress to stderr.
+//
+// Standalone mode is the original hand-wired flow — shard files from
+// ebv-partition plus a shared peer list — for runs without a control
+// plane:
+//
+//  1. Partition and shard:
 //     ebv-partition -in graph.txt -algo EBV -parts 3 -subgraph-dir shards/
-//  2. Start one worker per process (or per host), all with the same peer
-//     list; worker i listens on the i-th address:
+//  2. Start one worker per process; worker i listens on the i-th address:
 //     ebv-worker -subgraph shards/subgraph-0.bin -worker 0 \
 //     -peers 127.0.0.1:9100,127.0.0.1:9101,127.0.0.1:9102 -app CC -out r0.txt
 //     ebv-worker -subgraph shards/subgraph-1.bin -worker 1 -peers ... -out r1.txt
 //     ebv-worker -subgraph shards/subgraph-2.bin -worker 2 -peers ... -out r2.txt
 //
-// Each worker prints its breakdown and writes "vertex value" lines for its
-// local vertices. No process ever loads the whole graph.
+// Each standalone worker prints its breakdown and writes "vertex value"
+// lines for its local vertices. No process ever loads the whole graph.
+// In both modes peers are dialed with exponential backoff until
+// -dial-timeout expires, so workers may start in any order.
 package main
 
 import (
@@ -49,23 +72,46 @@ func main() {
 
 func run(ctx context.Context) error {
 	var (
-		subPath = flag.String("subgraph", "", "subgraph file written by ebv-partition -subgraph-dir")
-		worker  = flag.Int("worker", -1, "this worker's id")
-		peers   = flag.String("peers", "", "comma-separated listen addresses, one per worker")
+		coord   = flag.String("coordinator", "", "coordinator control-plane address (enables coordinator mode; most other flags are then unused)")
+		host    = flag.String("host", "127.0.0.1", "address to advertise for this worker's data-plane listener (coordinator mode)")
+		subPath = flag.String("subgraph", "", "subgraph file written by ebv-partition -subgraph-dir (standalone mode)")
+		worker  = flag.Int("worker", -1, "this worker's id (standalone mode)")
+		peers   = flag.String("peers", "", "comma-separated listen addresses, one per worker (standalone mode)")
 		app     = flag.String("app", "CC", "application: CC | PR | SSSP | AGG")
 		iters   = flag.Int("iters", 10, "PageRank iterations")
 		layers  = flag.Int("layers", 2, "AGG aggregation layers")
 		source  = flag.Uint64("source", 0, "SSSP source vertex")
 		width   = flag.Int("width", 1, "per-vertex value width (floats per message; must match all workers)")
-		timeout = flag.Duration("dial-timeout", 30*time.Second, "time to wait for peers")
-		outPath = flag.String("out", "", "write 'vertex value...' lines here (default stdout)")
+		combine = flag.String("combine", "off", "message combining: auto (each app's natural min/sum combiner) | off")
+		timeout = flag.Duration("dial-timeout", 30*time.Second, "total budget for dialing peers (and the coordinator), with exponential backoff")
+		outPath = flag.String("out", "", "write 'vertex value...' lines here (default stdout; standalone mode)")
 	)
 	flag.Parse()
+	combineOn := false
+	switch *combine {
+	case "auto":
+		combineOn = true
+	case "off":
+	default:
+		return fmt.Errorf("invalid -combine %q (valid: auto, off)", *combine)
+	}
+
+	if *coord != "" {
+		return ebv.RunClusterAgent(ctx, ebv.ClusterAgentConfig{
+			Coordinator: *coord,
+			Host:        *host,
+			DialTimeout: *timeout,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ebv-worker: "+format+"\n", args...)
+			},
+		})
+	}
+
 	if *width < 1 {
 		return fmt.Errorf("invalid -width %d: the per-vertex value width must be >= 1", *width)
 	}
 	if *subPath == "" || *worker < 0 || *peers == "" {
-		return errors.New("need -subgraph, -worker and -peers")
+		return errors.New("need -coordinator, or -subgraph, -worker and -peers")
 	}
 	addrs := strings.Split(*peers, ",")
 	for i := range addrs {
@@ -112,7 +158,7 @@ func run(ctx context.Context) error {
 	}
 	defer tr.Close()
 
-	res, err := ebv.RunBSPWorkerCtx(ctx, sub, prog, tr, ebv.RunConfig{ValueWidth: *width})
+	res, err := ebv.RunBSPWorkerCtx(ctx, sub, prog, tr, ebv.RunConfig{ValueWidth: *width, AutoCombine: combineOn})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"fmt"
+
 	"ebv/internal/bsp"
 	"ebv/internal/graph"
 	"ebv/internal/transport"
@@ -162,6 +164,42 @@ func (w *aggWorker) Superstep(step int, in *transport.MessageBatch) (out []*tran
 // Values implements bsp.WorkerProgram.
 func (w *aggWorker) Values() *graph.ValueMatrix {
 	return w.h.Clone()
+}
+
+var _ bsp.Resumable = (*aggWorker)(nil)
+
+// SnapshotState implements bsp.Resumable: the feature matrix h and the
+// gather partials side by side (width 2·W for a width-W run — a program
+// snapshot's width is its own, not the run's). inAcc is recomputed from
+// the inbox at every apply step and needs no snapshot.
+func (w *aggWorker) SnapshotState() *graph.ValueMatrix {
+	width := w.env.ValueWidth
+	n := w.sub.NumLocalVertices()
+	m := graph.NewValueMatrix(n, 2*width)
+	for l := 0; l < n; l++ {
+		row := m.Row(l)
+		copy(row[:width], w.h.Row(l))
+		copy(row[width:], w.partial.Row(l))
+	}
+	return m
+}
+
+// RestoreState implements bsp.Resumable.
+func (w *aggWorker) RestoreState(step int, state *graph.ValueMatrix) error {
+	width := w.env.ValueWidth
+	n := w.sub.NumLocalVertices()
+	if state.Width != 2*width {
+		return fmt.Errorf("apps: Aggregate snapshot width %d, want %d", state.Width, 2*width)
+	}
+	if err := state.CheckShape(n); err != nil {
+		return err
+	}
+	for l := 0; l < n; l++ {
+		row := state.Row(l)
+		copy(w.h.Row(l), row[:width])
+		copy(w.partial.Row(l), row[width:])
+	}
+	return nil
 }
 
 // SequentialAggregate is the width-aware oracle for Aggregate: the same

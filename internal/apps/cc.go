@@ -17,6 +17,8 @@
 package apps
 
 import (
+	"fmt"
+
 	"ebv/internal/bsp"
 	"ebv/internal/graph"
 	"ebv/internal/transport"
@@ -149,6 +151,48 @@ func (w *ccWorker) Values() *graph.ValueMatrix {
 		vals.SetScalar(l, w.label[w.dsu.find(int32(l))])
 	}
 	return vals
+}
+
+var _ bsp.Resumable = (*ccWorker)(nil)
+
+// SnapshotState implements bsp.Resumable: every local vertex's resolved
+// component label (width 1). The DSU itself needs no snapshot — NewWorker
+// rebuilds it from the (immutable) local edges — and lastSent needs none
+// either, because at every superstep boundary lastSent[i] equals the
+// resolved label of replicated[i]: a broadcast updates both together, and
+// a suppressed send means the label did not move.
+func (w *ccWorker) SnapshotState() *graph.ValueMatrix {
+	n := w.sub.NumLocalVertices()
+	m := graph.NewValueMatrix(n, 1)
+	for l := 0; l < n; l++ {
+		m.SetScalar(l, w.label[w.dsu.find(int32(l))])
+	}
+	return m
+}
+
+// RestoreState implements bsp.Resumable: fold the snapshot labels into the
+// freshly rebuilt DSU's roots and reconstruct lastSent from them (valid by
+// the invariant above; step >= 1, so the step-0 forced broadcast already
+// happened in the original timeline and must not be replayed).
+func (w *ccWorker) RestoreState(step int, state *graph.ValueMatrix) error {
+	n := w.sub.NumLocalVertices()
+	if state.Width != 1 {
+		return fmt.Errorf("apps: CC snapshot width %d, want 1", state.Width)
+	}
+	if err := state.CheckShape(n); err != nil {
+		return err
+	}
+	for l := 0; l < n; l++ {
+		r := w.dsu.find(int32(l))
+		if v := state.Scalar(l); v < w.label[r] {
+			w.label[r] = v
+		}
+	}
+	w.lastSent = make([]float64, len(w.replicated))
+	for i, local := range w.replicated {
+		w.lastSent[i] = w.label[w.dsu.find(local)]
+	}
+	return nil
 }
 
 // dsu is a disjoint-set union with path halving and union by size.

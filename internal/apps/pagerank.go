@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"fmt"
+
 	"ebv/internal/bsp"
 	"ebv/internal/graph"
 	"ebv/internal/transport"
@@ -151,4 +153,36 @@ func (w *prWorker) Superstep(step int, in *transport.MessageBatch) (out []*trans
 // Values implements bsp.WorkerProgram.
 func (w *prWorker) Values() *graph.ValueMatrix {
 	return scalarValues(w.env, w.rank)
+}
+
+var _ bsp.Resumable = (*prWorker)(nil)
+
+// SnapshotState implements bsp.Resumable: rank and partial per local
+// vertex (width 2). partial matters when the boundary falls between a
+// gather and its apply step; inSum is recomputed from the inbox at every
+// apply step and needs no snapshot.
+func (w *prWorker) SnapshotState() *graph.ValueMatrix {
+	m := graph.NewValueMatrix(len(w.rank), 2)
+	for l := range w.rank {
+		row := m.Row(l)
+		row[0] = w.rank[l]
+		row[1] = w.partial[l]
+	}
+	return m
+}
+
+// RestoreState implements bsp.Resumable.
+func (w *prWorker) RestoreState(step int, state *graph.ValueMatrix) error {
+	if state.Width != 2 {
+		return fmt.Errorf("apps: PR snapshot width %d, want 2", state.Width)
+	}
+	if err := state.CheckShape(len(w.rank)); err != nil {
+		return err
+	}
+	for l := range w.rank {
+		row := state.Row(l)
+		w.rank[l] = row[0]
+		w.partial[l] = row[1]
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"fmt"
 	"math"
 
 	"ebv/internal/bsp"
@@ -133,4 +134,39 @@ func (w *ssspWorker) Superstep(step int, in *transport.MessageBatch) (out []*tra
 // Values implements bsp.WorkerProgram.
 func (w *ssspWorker) Values() *graph.ValueMatrix {
 	return scalarValues(w.env, w.dist)
+}
+
+var _ bsp.Resumable = (*ssspWorker)(nil)
+
+// SnapshotState implements bsp.Resumable: the distance vector (width 1).
+// At every superstep boundary the SPFA queue is drained and improved is
+// empty (relax runs to the local fixpoint and the send clears improved),
+// so distances are the worker's entire state.
+func (w *ssspWorker) SnapshotState() *graph.ValueMatrix {
+	m := graph.NewValueMatrix(len(w.dist), 1)
+	for l, d := range w.dist {
+		m.SetScalar(l, d)
+	}
+	return m
+}
+
+// RestoreState implements bsp.Resumable. The queue NewWorker seeded with
+// the source is cleared — at step >= 1 the original timeline had already
+// relaxed and announced it.
+func (w *ssspWorker) RestoreState(step int, state *graph.ValueMatrix) error {
+	if state.Width != 1 {
+		return fmt.Errorf("apps: SSSP snapshot width %d, want 1", state.Width)
+	}
+	if err := state.CheckShape(len(w.dist)); err != nil {
+		return err
+	}
+	for l := range w.dist {
+		w.dist[l] = state.Scalar(l)
+	}
+	w.queue = w.queue[:0]
+	for i := range w.inQueue {
+		w.inQueue[i] = false
+	}
+	w.improved = nil
+	return nil
 }

@@ -2,6 +2,7 @@ package apps
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 
 	"ebv/internal/bsp"
@@ -154,6 +155,35 @@ func (w *wssspWorker) Superstep(step int, in *transport.MessageBatch) (out []*tr
 // Values implements bsp.WorkerProgram.
 func (w *wssspWorker) Values() *graph.ValueMatrix {
 	return scalarValues(w.env, w.dist)
+}
+
+var _ bsp.Resumable = (*wssspWorker)(nil)
+
+// SnapshotState implements bsp.Resumable: the distance vector (width 1) —
+// the Dijkstra frontier is drained and improved empty at every superstep
+// boundary, exactly as in SSSP.
+func (w *wssspWorker) SnapshotState() *graph.ValueMatrix {
+	m := graph.NewValueMatrix(len(w.dist), 1)
+	for l, d := range w.dist {
+		m.SetScalar(l, d)
+	}
+	return m
+}
+
+// RestoreState implements bsp.Resumable.
+func (w *wssspWorker) RestoreState(step int, state *graph.ValueMatrix) error {
+	if state.Width != 1 {
+		return fmt.Errorf("apps: WSSSP snapshot width %d, want 1", state.Width)
+	}
+	if err := state.CheckShape(len(w.dist)); err != nil {
+		return err
+	}
+	for l := range w.dist {
+		w.dist[l] = state.Scalar(l)
+	}
+	w.frontier = w.frontier[:0]
+	w.improved = nil
+	return nil
 }
 
 // SequentialWeightedSSSP is the Dijkstra oracle for WeightedSSSP.

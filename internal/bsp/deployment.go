@@ -99,7 +99,7 @@ func (d *Deployment) Run(ctx context.Context, prog Program, cfg Config) (*Result
 			_ = tr.Close()
 		}
 	}()
-	res, err := executeJob(ctx, d.subs, prog, trs, cfg.maxSteps(), width, cfg.combiner(prog), cfg.VerifyReplicaAgreement)
+	res, err := executeJob(ctx, d.subs, prog, trs, cfg, width)
 	if err != nil {
 		if d.isClosed() && errors.Is(err, transport.ErrClosed) {
 			return nil, fmt.Errorf("bsp: job %d (%s): %w", job, prog.Name(), ErrDeploymentClosed)

@@ -102,6 +102,21 @@ type Config struct {
 	// AutoCombine selects the program's declared combiner (CombinerProvider)
 	// when Combiner is nil. Programs without one run uncombined.
 	AutoCombine bool
+	// CheckpointEvery, with a CheckpointSink, cuts a resumable checkpoint
+	// at every superstep barrier it divides (before supersteps N, 2N, ...)
+	// while the run is still active. The program's workers must implement
+	// Resumable. 0 disables checkpointing.
+	CheckpointEvery int
+	// CheckpointSink receives each cut checkpoint. cp.State is owned by the
+	// sink; cp.InboxIDs/InboxVals alias engine memory and are only valid
+	// during the call — a sink that retains the inbox must copy it. A sink
+	// error fails the worker (a checkpoint that cannot be written is a
+	// fault, not a warning: failover would silently lose progress).
+	CheckpointSink func(worker int, cp *Checkpoint) error
+	// Resume starts the run from per-worker checkpoints instead of step 0:
+	// one non-nil entry per worker, all cut at the same Step (the aligned
+	// epochs CheckpointEvery produces). Nil (or empty) starts fresh.
+	Resume []*Checkpoint
 }
 
 // Option configures a Config functionally.
@@ -149,6 +164,21 @@ func WithCombiner(c transport.Combiner) Option {
 // any (see Config.AutoCombine).
 func WithAutoCombine(on bool) Option {
 	return func(c *Config) { c.AutoCombine = on }
+}
+
+// WithCheckpoints cuts a resumable checkpoint into sink at every superstep
+// barrier that every divides (see Config.CheckpointEvery/CheckpointSink).
+func WithCheckpoints(every int, sink func(worker int, cp *Checkpoint) error) Option {
+	return func(c *Config) {
+		c.CheckpointEvery = every
+		c.CheckpointSink = sink
+	}
+}
+
+// WithResume starts the run from per-worker checkpoints (one per worker,
+// all at the same step; see Config.Resume).
+func WithResume(cps []*Checkpoint) Option {
+	return func(c *Config) { c.Resume = cps }
 }
 
 // combiner resolves the run's message combiner for prog: an explicit
@@ -315,7 +345,35 @@ func RunCtx(ctx context.Context, subs []*Subgraph, prog Program, cfg Config) (*R
 		return nil, err
 	}
 	defer cleanup()
-	return executeJob(ctx, subs, prog, transports, cfg.maxSteps(), width, cfg.combiner(prog), cfg.VerifyReplicaAgreement)
+	return executeJob(ctx, subs, prog, transports, cfg, width)
+}
+
+// resumeFor validates cfg.Resume for a k-worker run at the given width:
+// either empty (fresh start) or one checkpoint per worker, all cut at the
+// same superstep with well-shaped inboxes.
+func (c Config) resumeFor(k, width int) ([]*Checkpoint, error) {
+	if len(c.Resume) == 0 {
+		return nil, nil
+	}
+	if len(c.Resume) != k {
+		return nil, fmt.Errorf("bsp: %d resume checkpoints for %d workers", len(c.Resume), k)
+	}
+	for w, cp := range c.Resume {
+		if cp == nil || cp.State == nil {
+			return nil, fmt.Errorf("bsp: resume checkpoint for worker %d missing", w)
+		}
+		if cp.Step < 1 {
+			return nil, fmt.Errorf("bsp: worker %d resume step %d invalid (checkpoints start at step 1)", w, cp.Step)
+		}
+		if cp.Step != c.Resume[0].Step {
+			return nil, fmt.Errorf("bsp: resume steps disagree: worker 0 at %d, worker %d at %d",
+				c.Resume[0].Step, w, cp.Step)
+		}
+		if err := cp.CheckInbox(width); err != nil {
+			return nil, fmt.Errorf("bsp: worker %d: %w", w, err)
+		}
+	}
+	return c.Resume, nil
 }
 
 // executeJob runs one job — prog over subs, one transport per worker —
@@ -327,11 +385,15 @@ func RunCtx(ctx context.Context, subs []*Subgraph, prog Program, cfg Config) (*R
 // calls over the same subgraphs are safe — subgraphs are immutable at run
 // time and all per-job state lives here.
 func executeJob(ctx context.Context, subs []*Subgraph, prog Program,
-	transports []transport.Transport, maxSteps, width int, comb transport.Combiner, verify bool) (*Result, error) {
+	transports []transport.Transport, cfg Config, width int) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	k := len(subs)
+	resume, err := cfg.resumeFor(k, width)
+	if err != nil {
+		return nil, err
+	}
 
 	// workerCtx is canceled when the caller's ctx is canceled OR when any
 	// worker fails mid-run (a bad batch, a transport fault): closing every
@@ -355,15 +417,25 @@ func executeJob(ctx context.Context, subs []*Subgraph, prog Program,
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < k; w++ {
+		spec := workerSpec{
+			maxSteps:  cfg.maxSteps(),
+			width:     width,
+			comb:      cfg.combiner(prog),
+			ckptEvery: cfg.CheckpointEvery,
+			sink:      cfg.CheckpointSink,
+		}
+		if resume != nil {
+			spec.resume = resume[w]
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, spec workerSpec) {
 			defer wg.Done()
 			steps[w], workerValues[w], errs[w] =
-				runWorker(workerCtx, w, subs[w], prog, transports[w], maxSteps, width, comb, &res.Workers[w])
+				runWorker(workerCtx, w, subs[w], prog, transports[w], spec, &res.Workers[w])
 			if errs[w] != nil {
 				failRun() // release peers blocked in the exchange
 			}
-		}(w)
+		}(w, spec)
 	}
 	wg.Wait()
 	res.WallTime = time.Since(start)
@@ -391,26 +463,9 @@ func executeJob(ctx context.Context, subs []*Subgraph, prog Program,
 	// Assemble the global value matrix from the per-worker matrices; every
 	// replica writes its row, optionally verified against the previous
 	// replica's (a strided row compare).
-	numGlobal := subs[0].NumGlobalVertices
-	res.Values = graph.NewValueMatrix(numGlobal, width)
-	res.Covered = make([]bool, numGlobal)
-	for w := 0; w < k; w++ {
-		vals := workerValues[w]
-		for local, gid := range subs[w].GlobalIDs {
-			row := vals.Row(local)
-			dst := res.Values.Row(int(gid))
-			if verify && res.Covered[gid] {
-				for j := range dst {
-					if dst[j] != row[j] {
-						return nil, fmt.Errorf(
-							"bsp: replicas of vertex %d disagree at column %d: %g vs %g (worker %d)",
-							gid, j, dst[j], row[j], w)
-					}
-				}
-			}
-			copy(dst, row)
-			res.Covered[gid] = true
-		}
+	res.Values, res.Covered, err = AssembleValues(subs, workerValues, width, cfg.VerifyReplicaAgreement)
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -442,10 +497,22 @@ func resolveTransports(cfg Config, k int) ([]transport.Transport, func(), error)
 }
 
 // runWorker is the per-worker superstep loop. It returns the executed
-// superstep count and the final local value matrix.
+// superstep count (the absolute step counter — a resumed worker reports
+// the same count the uninterrupted run would) and the final local value
+// matrix.
 func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr transport.Transport,
-	maxSteps, width int, comb transport.Combiner, stats *WorkerStats) (int, *graph.ValueMatrix, error) {
+	spec workerSpec, stats *WorkerStats) (int, *graph.ValueMatrix, error) {
+	maxSteps, width, comb := spec.maxSteps, spec.width, spec.comb
 	wp := prog.NewWorker(sub, Env{ValueWidth: width})
+	// Checkpointing and resuming both need the program's snapshot contract.
+	var resumable Resumable
+	if spec.checkpointing() || spec.resume != nil {
+		r, ok := wp.(Resumable)
+		if !ok {
+			return 0, nil, errNotResumable(prog)
+		}
+		resumable = r
+	}
 	// The combiner's scratch index is per-worker and lives for the whole
 	// run, serving both combining points — the sender-side coalesce of
 	// each outgoing batch and the receiver-side inbox merge — whose
@@ -482,7 +549,18 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 	// pool is best-effort).
 	inbox := transport.GetBatch(width)
 	defer func() { transport.RecycleBatch(inbox) }()
-	for step := 0; step < maxSteps; step++ {
+	startStep := 0
+	if cp := spec.resume; cp != nil {
+		// Rewind to the checkpointed barrier: program state first, then the
+		// inbox the exchange had delivered for cp.Step.
+		if err := resumable.RestoreState(cp.Step, cp.State); err != nil {
+			return 0, nil, fmt.Errorf("restore checkpoint at step %d: %w", cp.Step, err)
+		}
+		inbox.IDs = append(inbox.IDs, cp.InboxIDs...)
+		inbox.Vals = append(inbox.Vals, cp.InboxVals...)
+		startStep = cp.Step
+	}
+	for step := startStep; step < maxSteps; step++ {
 		if err := ctx.Err(); err != nil {
 			return step, nil, err
 		}
@@ -584,6 +662,22 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 		stats.Received = append(stats.Received, received)
 		stats.Delivered = append(stats.Delivered, delivered)
 
+		// Checkpoint cut: the run is still active and the next step is an
+		// epoch boundary. Both inputs are globally agreed (the step counter
+		// is lock-step, AnyActive is the exchange's collective OR), so every
+		// worker cuts exactly the same epochs — see Checkpoint.
+		if ex.AnyActive && spec.checkpointing() && (step+1)%spec.ckptEvery == 0 {
+			cp := &Checkpoint{
+				Step:      step + 1,
+				State:     resumable.SnapshotState(),
+				InboxIDs:  inbox.IDs,
+				InboxVals: inbox.Vals,
+			}
+			if err := spec.sink(w, cp); err != nil {
+				return step + 1, nil, fmt.Errorf("checkpoint at step %d: %w", step+1, err)
+			}
+		}
+
 		if !ex.AnyActive {
 			vals := wp.Values()
 			if vals == nil {
@@ -633,6 +727,18 @@ func RunWorker(sub *Subgraph, prog Program, tr transport.Transport, cfg Config) 
 // closed connections and fail their own exchanges — the distributed
 // analogue of a crashed process).
 func RunWorkerCtx(ctx context.Context, sub *Subgraph, prog Program, tr transport.Transport, cfg Config) (*WorkerResult, error) {
+	return RunWorkerFromCtx(ctx, sub, prog, tr, cfg, nil)
+}
+
+// RunWorkerFromCtx is RunWorkerCtx resuming from a checkpoint: a non-nil
+// cp starts the worker at cp.Step with the checkpointed program state and
+// inbox instead of step 0. Every worker of the run must resume from the
+// same epoch (the cluster coordinator's restore selection guarantees it);
+// cfg.CheckpointEvery/CheckpointSink keep cutting new checkpoints on the
+// resumed run. cfg.Resume is ignored here — it indexes checkpoints by
+// worker for whole-job entry points, while this worker resumes from its
+// own.
+func RunWorkerFromCtx(ctx context.Context, sub *Subgraph, prog Program, tr transport.Transport, cfg Config, cp *Checkpoint) (*WorkerResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -647,11 +753,27 @@ func RunWorkerCtx(ctx context.Context, sub *Subgraph, prog Program, tr transport
 	if err != nil {
 		return nil, err
 	}
+	if cp != nil {
+		if cp.State == nil || cp.Step < 1 {
+			return nil, fmt.Errorf("bsp: worker %d: malformed resume checkpoint", sub.Part)
+		}
+		if err := cp.CheckInbox(width); err != nil {
+			return nil, fmt.Errorf("bsp: worker %d: %w", sub.Part, err)
+		}
+	}
 	stopWatch := context.AfterFunc(ctx, func() { _ = tr.Close() })
 	defer stopWatch()
 	res := &WorkerResult{}
 	start := time.Now()
-	steps, values, err := runWorker(ctx, sub.Part, sub, prog, tr, cfg.maxSteps(), width, cfg.combiner(prog), &res.Stats)
+	spec := workerSpec{
+		maxSteps:  cfg.maxSteps(),
+		width:     width,
+		comb:      cfg.combiner(prog),
+		ckptEvery: cfg.CheckpointEvery,
+		sink:      cfg.CheckpointSink,
+		resume:    cp,
+	}
+	steps, values, err := runWorker(ctx, sub.Part, sub, prog, tr, spec, &res.Stats)
 	if err != nil {
 		// Mirror RunCtx's failRun: a local validation error (bad batch,
 		// mis-shaped values) leaves the transport healthy, so close it —

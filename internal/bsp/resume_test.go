@@ -1,0 +1,210 @@
+package bsp_test
+
+import (
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"ebv/internal/apps"
+	"ebv/internal/bsp"
+	"ebv/internal/graph"
+	"ebv/internal/partition"
+	"ebv/internal/transport"
+)
+
+// checkpointStore captures checkpoints by epoch, deep-copying the inbox
+// columns (which alias engine memory and are only valid during the sink
+// call — exactly the contract the on-disk codec serializes under).
+type checkpointStore struct {
+	mu     sync.Mutex
+	k      int
+	epochs map[int][]*bsp.Checkpoint
+}
+
+func newCheckpointStore(k int) *checkpointStore {
+	return &checkpointStore{k: k, epochs: make(map[int][]*bsp.Checkpoint)}
+}
+
+func (s *checkpointStore) sink(worker int, cp *bsp.Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eps := s.epochs[cp.Step]
+	if eps == nil {
+		eps = make([]*bsp.Checkpoint, s.k)
+		s.epochs[cp.Step] = eps
+	}
+	eps[worker] = &bsp.Checkpoint{
+		Step:      cp.Step,
+		State:     cp.State,
+		InboxIDs:  slices.Clone(cp.InboxIDs),
+		InboxVals: slices.Clone(cp.InboxVals),
+	}
+	return nil
+}
+
+// completeEpochs returns the steps at which every worker checkpointed,
+// ascending.
+func (s *checkpointStore) completeEpochs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var steps []int
+	for step, eps := range s.epochs {
+		complete := true
+		for _, cp := range eps {
+			if cp == nil {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			steps = append(steps, step)
+		}
+	}
+	sort.Ints(steps)
+	return steps
+}
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)})
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestResumeByteIdentity is the engine-level half of the failover
+// guarantee: for every program, resuming from ANY complete checkpoint
+// epoch reproduces the uninterrupted run bit for bit — same step count,
+// same value matrix.
+func TestResumeByteIdentity(t *testing.T) {
+	const k = 4
+	pl := testGraphs(t)["powerlaw"]
+	weights := graph.HashWeights(pl, 42, 1, 10)
+	path := pathGraph(t, 300) // long label-propagation chains: many epochs for CC/SSSP
+
+	random := &partition.Random{}
+	plSubs := buildSubs(t, pl, random, k)
+	pathSubs := buildSubs(t, path, random, k)
+	pa, err := random.Partition(pl, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wSubs, err := bsp.BuildSubgraphsWeighted(pl, pa, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		prog    bsp.Program
+		subs    []*bsp.Subgraph
+		width   int
+		combine bool
+	}{
+		{"CC", &apps.CC{}, pathSubs, 1, false},
+		{"CC-combined", &apps.CC{}, pathSubs, 1, true},
+		{"PR", &apps.PageRank{Iterations: 12}, plSubs, 1, true},
+		{"SSSP", &apps.SSSP{Source: 0}, pathSubs, 1, false},
+		{"WSSSP", &apps.WeightedSSSP{Source: 0}, wSubs, 1, false},
+		{"Aggregate", &apps.Aggregate{Layers: 6}, plSubs, 3, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			store := newCheckpointStore(k)
+			full, err := bsp.Run(tc.subs, tc.prog, bsp.Config{
+				ValueWidth:             tc.width,
+				VerifyReplicaAgreement: true,
+				AutoCombine:            tc.combine,
+				CheckpointEvery:        3,
+				CheckpointSink:         store.sink,
+			})
+			if err != nil {
+				t.Fatalf("full run: %v", err)
+			}
+			epochs := store.completeEpochs()
+			if len(epochs) == 0 {
+				t.Fatalf("no complete checkpoint epoch in %d steps", full.Steps)
+			}
+			for _, epoch := range epochs {
+				res, err := bsp.Run(tc.subs, tc.prog, bsp.Config{
+					ValueWidth:             tc.width,
+					VerifyReplicaAgreement: true,
+					AutoCombine:            tc.combine,
+					Resume:                 store.epochs[epoch],
+				})
+				if err != nil {
+					t.Fatalf("resume from epoch %d: %v", epoch, err)
+				}
+				if res.Steps != full.Steps {
+					t.Fatalf("resume from epoch %d: %d steps, want %d", epoch, res.Steps, full.Steps)
+				}
+				if !res.Values.EqualValues(full.Values) {
+					t.Fatalf("resume from epoch %d: values differ from uninterrupted run", epoch)
+				}
+			}
+			t.Logf("%s: %d steps, %d epochs resumed bit-identically", tc.name, full.Steps, len(epochs))
+		})
+	}
+}
+
+// nonResumableProg is active for a fixed number of steps and implements
+// only the base WorkerProgram interface.
+type nonResumableProg struct{ steps int }
+
+func (p *nonResumableProg) Name() string { return "static" }
+func (p *nonResumableProg) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
+	return &nonResumableWorker{sub: sub, env: env, steps: p.steps}
+}
+
+type nonResumableWorker struct {
+	sub   *bsp.Subgraph
+	env   bsp.Env
+	steps int
+}
+
+func (w *nonResumableWorker) Superstep(step int, in *transport.MessageBatch) ([]*transport.MessageBatch, bool) {
+	return nil, step < w.steps
+}
+func (w *nonResumableWorker) Values() *graph.ValueMatrix {
+	return w.env.NewValues(w.sub.NumLocalVertices())
+}
+
+func TestCheckpointRequiresResumable(t *testing.T) {
+	subs := buildSubs(t, pathGraph(t, 40), &partition.Random{}, 2)
+	_, err := bsp.Run(subs, &nonResumableProg{steps: 6}, bsp.Config{
+		CheckpointEvery: 2,
+		CheckpointSink:  func(int, *bsp.Checkpoint) error { return nil },
+	})
+	if err == nil || !strings.Contains(err.Error(), "not checkpointable") {
+		t.Fatalf("err = %v, want not-checkpointable", err)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	subs := buildSubs(t, pathGraph(t, 40), &partition.Random{}, 2)
+	prog := &apps.CC{}
+	cp := func(step int) *bsp.Checkpoint {
+		return &bsp.Checkpoint{Step: step, State: graph.NewValueMatrix(0, 1)}
+	}
+	for name, cfg := range map[string]bsp.Config{
+		"count mismatch": {Resume: []*bsp.Checkpoint{cp(2)}},
+		"nil entry":      {Resume: []*bsp.Checkpoint{cp(2), nil}},
+		"step disagree":  {Resume: []*bsp.Checkpoint{cp(2), cp(4)}},
+		"step zero":      {Resume: []*bsp.Checkpoint{cp(0), cp(0)}},
+		"bad inbox": {Resume: []*bsp.Checkpoint{
+			{Step: 2, State: graph.NewValueMatrix(0, 1), InboxVals: []float64{1}},
+			cp(2),
+		}},
+	} {
+		if _, err := bsp.Run(subs, prog, cfg); err == nil {
+			t.Fatalf("%s: expected a validation error", name)
+		}
+	}
+}

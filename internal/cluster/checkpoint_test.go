@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"ebv/internal/bsp"
+	"ebv/internal/graph"
+)
+
+// testCheckpoint builds a deterministic checkpoint with stateRows local
+// vertices of the given state width and an inbox of the run width.
+func testCheckpoint(step, stateRows, stateWidth, inboxRows, width int) *bsp.Checkpoint {
+	state := graph.NewValueMatrix(stateRows, stateWidth)
+	for i := range state.Data {
+		state.Data[i] = float64(i)*0.5 - 3
+	}
+	cp := &bsp.Checkpoint{
+		Step:      step,
+		State:     state,
+		InboxIDs:  make([]graph.VertexID, inboxRows),
+		InboxVals: make([]float64, inboxRows*width),
+	}
+	for i := range cp.InboxIDs {
+		cp.InboxIDs[i] = graph.VertexID(7 * i)
+	}
+	for i := range cp.InboxVals {
+		cp.InboxVals[i] = -float64(i) / 3
+	}
+	return cp
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name                string
+		stateWidth, width   int
+		stateRows, inboxRow int
+	}{
+		{"width-1", 1, 1, 50, 17},
+		{"width-8", 8, 8, 23, 9},
+		{"mixed-widths", 6, 3, 11, 4}, // program snapshot wider than the run width
+		{"empty-inbox", 2, 1, 5, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			meta := CheckpointMeta{Job: 3, Part: 1, Workers: 4, Width: tc.width}
+			cp := testCheckpoint(12, tc.stateRows, tc.stateWidth, tc.inboxRow, tc.width)
+			data, err := EncodeCheckpoint(meta, cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMeta, got, err := DecodeCheckpoint(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotMeta != meta {
+				t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
+			}
+			if got.Step != cp.Step || !got.State.EqualValues(cp.State) ||
+				!slices.Equal(got.InboxIDs, cp.InboxIDs) || !slices.Equal(got.InboxVals, cp.InboxVals) {
+				t.Fatalf("decoded checkpoint differs from original")
+			}
+		})
+	}
+}
+
+func TestCheckpointCorruptionRejected(t *testing.T) {
+	meta := CheckpointMeta{Job: 1, Part: 0, Workers: 2, Width: 1}
+	data, err := EncodeCheckpoint(meta, testCheckpoint(6, 40, 1, 12, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every truncation point fails loudly, including cutting the trailer.
+	for _, n := range []int{0, 3, checkpointHeaderBytes - 1, checkpointHeaderBytes, len(data) / 2, len(data) - 1} {
+		if _, _, err := DecodeCheckpoint(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", n)
+		}
+	}
+	// Trailing junk is not silently ignored.
+	if _, _, err := DecodeCheckpoint(append(slices.Clone(data), 0)); err == nil {
+		t.Fatal("trailing junk decoded")
+	}
+	// A single flipped bit anywhere trips the CRC (or an earlier check).
+	for _, off := range []int{0, 5, checkpointHeaderBytes + 1, len(data) - 10, len(data) - 1} {
+		bad := slices.Clone(data)
+		bad[off] ^= 0x40
+		if _, _, err := DecodeCheckpoint(bad); err == nil {
+			t.Fatalf("bit flip at offset %d decoded", off)
+		}
+	}
+}
+
+func TestCheckpointNameRoundTrip(t *testing.T) {
+	job, part, step, ok := parseCheckpointName(checkpointName(7, 2, 40))
+	if !ok || job != 7 || part != 2 || step != 40 {
+		t.Fatalf("parse = (%d,%d,%d,%v)", job, part, step, ok)
+	}
+	for _, bad := range []string{"", "notes.txt", "ebv-j1-p0-s2.ckpt.tmp-123", "ebv-j1-p0-s02.ckpt", "ebv-jx-p0-s2.ckpt"} {
+		if _, _, _, ok := parseCheckpointName(bad); ok {
+			t.Fatalf("parsed foreign name %q", bad)
+		}
+	}
+}
+
+// writeEpoch writes one complete epoch (all parts) for a job.
+func writeEpoch(t *testing.T, dir string, job, workers, step int) {
+	t.Helper()
+	for p := 0; p < workers; p++ {
+		meta := CheckpointMeta{Job: job, Part: p, Workers: workers, Width: 1}
+		if err := WriteCheckpointFile(dir, meta, testCheckpoint(step, 10+p, 1, 3, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSelectRestoreEpoch(t *testing.T) {
+	dir := t.TempDir()
+	const job, workers = 1, 3
+
+	// No directory / empty directory: no epoch, no error.
+	if _, ok, err := SelectRestoreEpoch(filepath.Join(dir, "absent"), job, workers); err != nil || ok {
+		t.Fatalf("missing dir: ok=%v err=%v", ok, err)
+	}
+
+	writeEpoch(t, dir, job, workers, 4)
+	writeEpoch(t, dir, job, workers, 8)
+	writeEpoch(t, dir, job, workers, 12)
+	writeEpoch(t, dir, 2, workers, 99) // another job's epoch never leaks in
+
+	step, ok, err := SelectRestoreEpoch(dir, job, workers)
+	if err != nil || !ok || step != 12 {
+		t.Fatalf("full dir: step=%d ok=%v err=%v, want 12", step, ok, err)
+	}
+
+	// A partial epoch — one worker died before its rename landed — is
+	// never selected: drop part 1's file from epoch 12.
+	if err := os.Remove(CheckpointPath(dir, job, 1, 12)); err != nil {
+		t.Fatal(err)
+	}
+	step, ok, err = SelectRestoreEpoch(dir, job, workers)
+	if err != nil || !ok || step != 8 {
+		t.Fatalf("partial epoch 12: step=%d ok=%v err=%v, want 8", step, ok, err)
+	}
+
+	// A complete-looking epoch with one corrupt file is skipped too.
+	path := CheckpointPath(dir, job, 2, 8)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	step, ok, err = SelectRestoreEpoch(dir, job, workers)
+	if err != nil || !ok || step != 4 {
+		t.Fatalf("corrupt epoch 8: step=%d ok=%v err=%v, want 4", step, ok, err)
+	}
+
+	// No complete valid epoch at all: ok=false.
+	if err := os.Remove(CheckpointPath(dir, job, 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := SelectRestoreEpoch(dir, job, workers); err != nil || ok {
+		t.Fatalf("no valid epoch: ok=%v err=%v", ok, err)
+	}
+}

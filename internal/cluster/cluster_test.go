@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ebv/internal/bsp"
+	"ebv/internal/gen"
+	"ebv/internal/graph"
+	"ebv/internal/partition"
+)
+
+func testSubs(t *testing.T, g *graph.Graph, k int) []*bsp.Subgraph {
+	t.Helper()
+	a, err := (&partition.Random{}).Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := bsp.BuildSubgraphs(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return subs
+}
+
+func testPathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)})
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testPowerlaw(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: 2000, NumEdges: 9000, Eta: 2.2, Directed: true, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testCluster is one in-process coordinator plus its agent goroutines.
+type testCluster struct {
+	t     *testing.T
+	coord *Coordinator
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	errs  map[*Agent]error
+}
+
+func newTestCluster(t *testing.T, subs []*bsp.Subgraph, hbTimeout time.Duration) *testCluster {
+	t.Helper()
+	coord, err := NewCoordinator(Config{
+		Subgraphs:        subs,
+		HeartbeatTimeout: hbTimeout,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{t: t, coord: coord, errs: make(map[*Agent]error)}
+	t.Cleanup(func() {
+		_ = coord.Close()
+		tc.wg.Wait()
+	})
+	return tc
+}
+
+// startAgent launches one agent and waits until the coordinator has
+// registered it, so callers control registration (and thus partition
+// assignment) order.
+func (tc *testCluster) startAgent(ctx context.Context) *Agent {
+	tc.t.Helper()
+	before := tc.coord.NumRegistered()
+	a := NewAgent(AgentConfig{
+		Coordinator:       tc.coord.Addr(),
+		HeartbeatInterval: 50 * time.Millisecond,
+		Logf:              tc.t.Logf,
+	})
+	tc.wg.Add(1)
+	go func() {
+		defer tc.wg.Done()
+		err := a.Run(ctx)
+		tc.mu.Lock()
+		tc.errs[a] = err
+		tc.mu.Unlock()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for tc.coord.NumRegistered() <= before {
+		if time.Now().After(deadline) {
+			tc.t.Fatal("agent did not register")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return a
+}
+
+func (tc *testCluster) agentErr(a *Agent) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.errs[a]
+}
+
+// TestClusterCleanRuns serves two different jobs over one deployment of
+// three agents and checks both against the single-process engine.
+func TestClusterCleanRuns(t *testing.T) {
+	const k = 3
+	pl := testPowerlaw(t)
+	subs := testSubs(t, pl, k)
+	ctx := context.Background()
+
+	tc := newTestCluster(t, subs, 0)
+	for i := 0; i < k; i++ {
+		tc.startAgent(ctx)
+	}
+
+	ccRef, err := bsp.Run(subs, mustProgram(t, JobSpec{App: "CC"}), bsp.Config{VerifyReplicaAgreement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prSpec := JobSpec{App: "PR", Iterations: 20, Combine: true}
+	prRef, err := bsp.Run(subs, mustProgram(t, prSpec), bsp.Config{VerifyReplicaAgreement: true, AutoCombine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cc, err := tc.coord.Run(ctx, JobSpec{App: "CC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Attempts != 1 || cc.RestoredFrom != -1 || cc.Steps != ccRef.Steps || !cc.Values.EqualValues(ccRef.Values) {
+		t.Fatalf("CC: attempts=%d restored=%d steps=%d (ref %d), values match=%v",
+			cc.Attempts, cc.RestoredFrom, cc.Steps, ccRef.Steps, cc.Values.EqualValues(ccRef.Values))
+	}
+	pr, err := tc.coord.Run(ctx, prSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Steps != prRef.Steps || !pr.Values.EqualValues(prRef.Values) {
+		t.Fatalf("PR: steps=%d (ref %d), values differ", pr.Steps, prRef.Steps)
+	}
+	if _, err := tc.coord.Run(ctx, JobSpec{App: "nope"}); err == nil || !strings.Contains(err.Error(), "unknown app") {
+		t.Fatalf("unknown app: err = %v", err)
+	}
+}
+
+func mustProgram(t *testing.T, spec JobSpec) bsp.Program {
+	t.Helper()
+	prog, err := spec.program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// killWhenCheckpointed waits for the first COMPLETE checkpoint epoch (all
+// workers' files landed) and then kills the victim — a kill -9 equivalent
+// mid-run. Killing on the first file alone would race the victim's own
+// write of that epoch and sometimes leave nothing to restore.
+func killWhenCheckpointed(t *testing.T, dir string, job, workers int, victim *Agent) chan struct{} {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if _, ok, err := SelectRestoreEpoch(dir, job, workers); err == nil && ok {
+				victim.Kill()
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Error("no complete checkpoint epoch appeared before the deadline")
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	return done
+}
+
+// TestClusterFailoverStandby is the headline guarantee: kill -9 one
+// worker mid-CC with a hot standby registered; the job completes with
+// values byte-identical to an uninterrupted run.
+func TestClusterFailoverStandby(t *testing.T) {
+	const k = 3
+	path := testPathGraph(t, 1200) // long propagation: hundreds of supersteps
+	subs := testSubs(t, path, k)
+	ctx := context.Background()
+
+	tc := newTestCluster(t, subs, 0)
+	agents := make([]*Agent, 4) // 3 owners + 1 hot standby
+	for i := range agents {
+		agents[i] = tc.startAgent(ctx)
+	}
+	victim := agents[1] // registration order == assignment order: owns partition 1
+
+	spec := JobSpec{
+		App:             "CC",
+		CheckpointDir:   t.TempDir(),
+		CheckpointEvery: 5,
+	}
+	ref, err := bsp.Run(subs, mustProgram(t, spec), bsp.Config{VerifyReplicaAgreement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killed := killWhenCheckpointed(t, spec.CheckpointDir, 1, k, victim)
+	res, err := tc.coord.Run(ctx, spec)
+	<-killed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (the kill must have interrupted the job)", res.Attempts)
+	}
+	if res.RestoredFrom < 1 {
+		t.Fatalf("restoredFrom = %d, want a checkpoint epoch", res.RestoredFrom)
+	}
+	if res.Steps != ref.Steps {
+		t.Fatalf("steps = %d, want %d", res.Steps, ref.Steps)
+	}
+	if !res.Values.EqualValues(ref.Values) {
+		t.Fatal("recovered values differ from uninterrupted run")
+	}
+	if err := tc.agentErr(victim); err != ErrAgentKilled {
+		t.Fatalf("victim err = %v, want ErrAgentKilled", err)
+	}
+	t.Logf("CC recovered: %d attempts, restored from epoch %d of %d steps", res.Attempts, res.RestoredFrom, res.Steps)
+}
+
+// TestClusterFailoverReplacement kills a PageRank worker with NO standby:
+// the retry blocks until a replacement process registers, inherits the
+// dead worker's partition, and the job still finishes bit-identically.
+func TestClusterFailoverReplacement(t *testing.T) {
+	const k = 3
+	pl := testPowerlaw(t)
+	subs := testSubs(t, pl, k)
+	ctx := context.Background()
+
+	tc := newTestCluster(t, subs, 0)
+	agents := make([]*Agent, k)
+	for i := range agents {
+		agents[i] = tc.startAgent(ctx)
+	}
+	victim := agents[2]
+
+	spec := JobSpec{
+		App:             "PR",
+		Iterations:      150,
+		Combine:         true,
+		CheckpointDir:   t.TempDir(),
+		CheckpointEvery: 4,
+	}
+	ref, err := bsp.Run(subs, mustProgram(t, spec), bsp.Config{VerifyReplicaAgreement: true, AutoCombine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	killed := killWhenCheckpointed(t, spec.CheckpointDir, 1, k, victim)
+	// The replacement registers only after the victim is gone, so attempt
+	// 2's roster wait actually exercises the vacancy.
+	go func() {
+		<-killed
+		tc.startAgent(ctx)
+	}()
+	res, err := tc.coord.Run(ctx, spec)
+	<-killed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts < 2 || res.RestoredFrom < 1 {
+		t.Fatalf("attempts = %d, restoredFrom = %d: kill did not interrupt the job", res.Attempts, res.RestoredFrom)
+	}
+	if res.Steps != ref.Steps || !res.Values.EqualValues(ref.Values) {
+		t.Fatalf("recovered run differs: steps %d vs %d", res.Steps, ref.Steps)
+	}
+	t.Logf("PR recovered: %d attempts, restored from epoch %d of %d steps", res.Attempts, res.RestoredFrom, res.Steps)
+}
+
+// TestClusterHeartbeatDetector covers death the connection does not
+// announce: a registered worker that goes silent (but keeps its socket
+// open) is declared dead by heartbeat timeout, its partition is handed to
+// a live agent, and the job completes.
+func TestClusterHeartbeatDetector(t *testing.T) {
+	subs := testSubs(t, testPathGraph(t, 60), 1)
+	ctx := context.Background()
+
+	tc := newTestCluster(t, subs, 400*time.Millisecond)
+
+	// A worker that registers and then never speaks again.
+	conn, err := net.Dial("tcp", tc.coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var silentMu sync.Mutex
+	if err := writeMsg(&silentMu, conn, msgHello, helloMsg{Host: "127.0.0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tc.coord.NumRegistered() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("silent worker did not register")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	tc.startAgent(ctx) // hot standby behind the silent owner
+
+	res, err := tc.coord.Run(ctx, JobSpec{App: "CC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (prepare must stall on the silent worker first)", res.Attempts)
+	}
+	ref, err := bsp.Run(subs, mustProgram(t, JobSpec{App: "CC"}), bsp.Config{VerifyReplicaAgreement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Values.EqualValues(ref.Values) {
+		t.Fatal("values differ")
+	}
+}
+
+// TestControlFrameTamperDetected closes the loop on the control codec in
+// situ: a registration frame with a flipped payload byte must not
+// register a worker (the coordinator drops the connection instead).
+func TestControlFrameTamperDetected(t *testing.T) {
+	subs := testSubs(t, testPathGraph(t, 20), 1)
+	tc := newTestCluster(t, subs, 0)
+
+	var frame bytes.Buffer
+	var mu sync.Mutex
+	if err := writeMsg(&mu, &frame, msgHello, helloMsg{Host: "127.0.0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	b := frame.Bytes()
+	b[len(b)-7] ^= 0x01 // corrupt the gob payload under the CRC
+
+	conn, err := net.Dial("tcp", tc.coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	// The coordinator must hang up on us without registering.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("expected the coordinator to drop the tampered connection")
+	}
+	if n := tc.coord.NumRegistered(); n != 0 {
+		t.Fatalf("tampered hello registered %d workers", n)
+	}
+}

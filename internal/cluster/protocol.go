@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"ebv/internal/transport"
+)
+
+// Control-plane protocol. Every message is one transport control frame
+// (magic "EBVC", CRC-checked) whose type byte selects a gob-encoded
+// payload struct below. The coordinator and agents each keep exactly one
+// control connection; frames in either direction double as liveness
+// (any frame refreshes the peer's last-seen clock, and msgHeartbeat
+// exists purely for that).
+const (
+	msgHello     = 0x01 // agent → coordinator: registration
+	msgAssign    = 0x02 // coordinator → agent: partition ownership + shard
+	msgPrepare   = 0x03 // coordinator → agent: bind a data listener for a job attempt
+	msgPrepared  = 0x04 // agent → coordinator: data listener address
+	msgStart     = 0x05 // coordinator → agent: full peer address list; run
+	msgDone      = 0x06 // agent → coordinator: attempt finished, values inline
+	msgFailed    = 0x07 // agent → coordinator: attempt failed
+	msgHeartbeat = 0x08 // agent → coordinator: liveness only
+	msgShutdown  = 0x09 // coordinator → agent: clean exit
+)
+
+// helloMsg registers an agent. Host is the address workers advertise to
+// peers for the data plane (the coordinator only sees the control conn's
+// remote address, which may be NATed or wildcard-bound).
+type helloMsg struct {
+	Host string
+}
+
+// assignMsg grants an agent ownership of one partition and ships the
+// shard bytes (bsp.WriteSubgraph encoding).
+type assignMsg struct {
+	Part    int
+	Workers int
+	Shard   []byte
+}
+
+// prepareMsg opens a job attempt: the agent must bind a fresh data-plane
+// listener and reply prepared. RestoreStep >= 0 instructs it to load its
+// partition's checkpoint for that epoch before running; -1 runs fresh.
+type prepareMsg struct {
+	Job         int
+	Attempt     int
+	Spec        JobSpec
+	RestoreStep int
+}
+
+// preparedMsg reports the agent's bound data-plane address for one
+// attempt. Part is echoed so the coordinator can place the address even
+// if the assignment raced a failover.
+type preparedMsg struct {
+	Job      int
+	Attempt  int
+	Part     int
+	DataAddr string
+}
+
+// startMsg broadcasts the complete data-plane address list (indexed by
+// partition); receipt means every peer is listening, so mesh wiring can
+// begin.
+type startMsg struct {
+	Job     int
+	Attempt int
+	Addrs   []string
+}
+
+// doneMsg carries one worker's final values (dense rows of its local
+// vertices, row width Width) back to the coordinator for assembly.
+type doneMsg struct {
+	Job     int
+	Attempt int
+	Part    int
+	Steps   int
+	Width   int
+	Values  []float64
+}
+
+// failedMsg reports an attempt failure without killing the agent; the
+// agent stays registered and serves the retry.
+type failedMsg struct {
+	Job     int
+	Attempt int
+	Part    int
+	Err     string
+}
+
+// encodePayload gob-encodes one message payload (nil encodes empty).
+func encodePayload(payload any) ([]byte, error) {
+	if payload == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return nil, fmt.Errorf("cluster: encode payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// writeMsg gob-encodes payload and sends it as one control frame. Callers
+// serialize writes per connection with mu (a control frame is a single
+// Write, but gob encoding is not part of that guarantee).
+func writeMsg(mu *sync.Mutex, w io.Writer, typ uint8, payload any) error {
+	data, err := encodePayload(payload)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return transport.WriteControlFrame(w, typ, data)
+}
+
+// decodeMsg decodes a raw control-frame payload into out.
+func decodeMsg(payload []byte, out any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(out)
+}

@@ -425,6 +425,18 @@ func (j *muxJob) Exchange(worker, step int, out []*MessageBatch, active bool) (E
 			firstErr = err
 			break
 		}
+		if firstErr != nil {
+			// A write can lose the teardown race: fail/Close record the
+			// node's cause before closing the connections, and the raw
+			// "use of closed network connection" from a blocked write can
+			// surface before this job observes j.done. The recorded cause
+			// (ErrClosed on deployment Close) is the real story.
+			n.mu.Lock()
+			if n.failed != nil {
+				firstErr = n.failed
+			}
+			n.mu.Unlock()
+		}
 	}
 	// Frames are on the wire (or abandoned): recycle the outgoing batches.
 	// The self slot stays alive — it was handed back in In.

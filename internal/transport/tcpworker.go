@@ -15,23 +15,48 @@ import (
 // Unlike NewTCPMesh (which wires all workers inside one process), each
 // process calls NewTCPWorker with its own id; the function listens on
 // addrs[worker], accepts connections from all lower-id peers and dials all
-// higher-id peers, retrying dials until the peers come up (bounded by
-// dialTimeout). This is the entry point cmd/ebv-worker uses to run one BSP
-// worker per OS process (or per host).
+// higher-id peers, retrying dials with exponential backoff until the peers
+// come up (bounded by dialTimeout). This is the entry point cmd/ebv-worker
+// uses to run one BSP worker per OS process (or per host).
 func NewTCPWorker(worker int, addrs []string, dialTimeout time.Duration) (*TCP, error) {
 	return NewTCPWorkerCtx(context.Background(), worker, addrs, dialTimeout)
 }
 
-// NewTCPWorkerCtx is NewTCPWorker with cancellation: the dial retry loop
-// and the accept loop both honor ctx (a SIGINT while waiting for peers
+// NewTCPWorkerCtx is NewTCPWorker with cancellation: the dial retry loops
+// and the accept loop all honor ctx (a SIGINT while waiting for peers
 // tears the worker down immediately instead of spinning until
 // dialTimeout).
 func NewTCPWorkerCtx(ctx context.Context, worker int, addrs []string, dialTimeout time.Duration) (*TCP, error) {
+	k := len(addrs)
+	if worker < 0 || worker >= k {
+		return nil, fmt.Errorf("transport: worker %d out of range [0,%d)", worker, k)
+	}
+	var ln net.Listener
+	if k > 1 {
+		var err error
+		ln, err = net.Listen("tcp", addrs[worker])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", addrs[worker], err)
+		}
+	}
+	return NewTCPWorkerListenerCtx(ctx, worker, addrs, ln, dialTimeout)
+}
+
+// NewTCPWorkerListenerCtx is NewTCPWorkerCtx for callers that already hold
+// the worker's listener — the cluster control plane binds an ephemeral port
+// first (to report the address before the peer list exists) and passes the
+// listener here once every peer address is known. addrs[worker] is ignored
+// in favor of ln. The function takes ownership of ln and closes it before
+// returning: the listener's only purpose is mesh wiring.
+func NewTCPWorkerListenerCtx(ctx context.Context, worker int, addrs []string, ln net.Listener, dialTimeout time.Duration) (*TCP, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	k := len(addrs)
 	if worker < 0 || worker >= k {
+		if ln != nil {
+			_ = ln.Close()
+		}
 		return nil, fmt.Errorf("transport: worker %d out of range [0,%d)", worker, k)
 	}
 	if dialTimeout <= 0 {
@@ -39,89 +64,101 @@ func NewTCPWorkerCtx(ctx context.Context, worker int, addrs []string, dialTimeou
 	}
 	t := newTCP(worker, k)
 	if k == 1 {
+		if ln != nil {
+			_ = ln.Close()
+		}
 		return t, nil
 	}
-
-	ln, err := net.Listen("tcp", addrs[worker])
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen %s: %w", addrs[worker], err)
+	if ln == nil {
+		_ = t.Close()
+		return nil, fmt.Errorf("transport: worker %d of %d needs a listener", worker, k)
 	}
 	defer ln.Close()
 	// Cancellation aborts a blocked Accept by closing the listener.
 	stopWatch := context.AfterFunc(ctx, func() { _ = ln.Close() })
 	defer stopWatch()
 
-	// Dial higher-id peers in the background with retry; accept from
-	// lower ids in the foreground.
-	dialErr := make(chan error, 1)
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		deadline := time.Now().Add(dialTimeout)
-		for peer := worker + 1; peer < k; peer++ {
-			conn, err := dialWithRetry(ctx, addrs[peer], deadline)
+	// Dial every higher-id peer concurrently (with exponential backoff, so
+	// workers can start in any order without one slow bind serializing the
+	// rest) and accept from lower ids; a single loop collects both sides.
+	// abort tells straggling producers — a dial that succeeded after the
+	// wiring already failed — to close their connection instead of leaking
+	// it into an unread channel.
+	type wired struct {
+		peer int
+		conn net.Conn
+		err  error
+	}
+	results := make(chan wired)
+	abort := make(chan struct{})
+	defer close(abort)
+	send := func(r wired) {
+		select {
+		case results <- r:
+		case <-abort:
+			if r.conn != nil {
+				_ = r.conn.Close()
+			}
+		}
+	}
+	deadline := time.Now().Add(dialTimeout)
+	for peer := worker + 1; peer < k; peer++ {
+		go func(peer int) {
+			conn, err := DialBackoff(ctx, addrs[peer], deadline)
 			if err != nil {
-				select {
-				case dialErr <- fmt.Errorf("transport: dial peer %d (%s): %w", peer, addrs[peer], err):
-				default:
-				}
+				send(wired{peer: peer, err: fmt.Errorf("transport: dial peer %d (%s): %w", peer, addrs[peer], err)})
 				return
 			}
 			var hello [4]byte
 			binary.LittleEndian.PutUint32(hello[:], uint32(worker))
 			if _, err := conn.Write(hello[:]); err != nil {
-				select {
-				case dialErr <- fmt.Errorf("transport: hello to %d: %w", peer, err):
-				default:
-				}
+				_ = conn.Close()
+				send(wired{peer: peer, err: fmt.Errorf("transport: hello to %d: %w", peer, err)})
 				return
 			}
-			t.conns[peer] = conn
-		}
-	}()
-
-	type accepted struct {
-		peer int
-		conn net.Conn
-		err  error
+			send(wired{peer: peer, conn: conn})
+		}(peer)
 	}
-	acceptCh := make(chan accepted, worker)
 	go func() {
 		for i := 0; i < worker; i++ {
 			conn, err := ln.Accept()
 			if err != nil {
-				acceptCh <- accepted{err: err}
+				send(wired{err: fmt.Errorf("accept: %w", err)})
 				return
 			}
 			var hello [4]byte
 			if _, err := io.ReadFull(conn, hello[:]); err != nil {
-				acceptCh <- accepted{err: fmt.Errorf("read hello: %w", err)}
+				_ = conn.Close()
+				send(wired{err: fmt.Errorf("read hello: %w", err)})
 				return
 			}
 			peer := int(binary.LittleEndian.Uint32(hello[:]))
 			if peer < 0 || peer >= worker {
-				acceptCh <- accepted{err: fmt.Errorf("bad hello id %d", peer)}
+				_ = conn.Close()
+				send(wired{err: fmt.Errorf("bad hello id %d", peer)})
 				return
 			}
-			acceptCh <- accepted{peer: peer, conn: conn}
+			send(wired{peer: peer, conn: conn})
 		}
 	}()
 
 	timeout := time.After(dialTimeout)
-	for i := 0; i < worker; i++ {
+	for need := k - 1; need > 0; need-- {
 		select {
-		case a := <-acceptCh:
-			if a.err != nil {
+		case r := <-results:
+			if r.err != nil {
 				_ = t.Close()
 				if ctxErr := ctx.Err(); ctxErr != nil {
 					return nil, ctxErr
 				}
-				return nil, fmt.Errorf("transport: accept at worker %d: %w", worker, a.err)
+				return nil, fmt.Errorf("transport: wiring worker %d: %w", worker, r.err)
 			}
-			t.conns[a.peer] = a.conn
-		case err := <-dialErr:
-			_ = t.Close()
-			return nil, err
+			if t.conns[r.peer] != nil {
+				_ = r.conn.Close()
+				_ = t.Close()
+				return nil, fmt.Errorf("transport: worker %d wired peer %d twice", worker, r.peer)
+			}
+			t.conns[r.peer] = r.conn
 		case <-ctx.Done():
 			_ = t.Close()
 			return nil, ctx.Err()
@@ -129,24 +166,6 @@ func NewTCPWorkerCtx(ctx context.Context, worker int, addrs []string, dialTimeou
 			_ = t.Close()
 			return nil, fmt.Errorf("transport: worker %d timed out waiting for peers", worker)
 		}
-	}
-	select {
-	case <-done:
-	case err := <-dialErr:
-		_ = t.Close()
-		return nil, err
-	case <-ctx.Done():
-		_ = t.Close()
-		return nil, ctx.Err()
-	case <-timeout:
-		_ = t.Close()
-		return nil, fmt.Errorf("transport: worker %d timed out dialing peers", worker)
-	}
-	select {
-	case err := <-dialErr:
-		_ = t.Close()
-		return nil, err
-	default:
 	}
 	// Sanity: every slot filled.
 	for peer, conn := range t.conns {
@@ -158,23 +177,46 @@ func NewTCPWorkerCtx(ctx context.Context, worker int, addrs []string, dialTimeou
 	return t, nil
 }
 
-func dialWithRetry(ctx context.Context, addr string, deadline time.Time) (net.Conn, error) {
+// DialBackoff dials addr with retries under exponential backoff (10ms
+// doubling to a 1s ceiling) until the dial succeeds, ctx is canceled or
+// deadline passes. Peers racing to bind their listeners converge fast (the
+// early retries are cheap) without hammering a peer that is minutes away.
+func DialBackoff(ctx context.Context, addr string, deadline time.Time) (net.Conn, error) {
+	backoff := 10 * time.Millisecond
+	const maxBackoff = time.Second
 	var lastErr error
-	for time.Now().Before(deadline) {
+	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		dialCtx, cancel := context.WithTimeout(ctx, time.Second)
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		attempt := time.Second
+		if remaining < attempt {
+			attempt = remaining
+		}
+		dialCtx, cancel := context.WithTimeout(ctx, attempt)
 		conn, err := (&net.Dialer{}).DialContext(dialCtx, "tcp", addr)
 		cancel()
 		if err == nil {
 			return conn, nil
 		}
 		lastErr = err
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(100 * time.Millisecond):
+		sleep := backoff
+		if rem := time.Until(deadline); sleep > rem {
+			sleep = rem
+		}
+		if sleep > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(sleep):
+			}
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
 		}
 	}
 	if lastErr == nil {
