@@ -60,7 +60,8 @@ type Cluster struct {
 // OpenCluster prepares the pipeline once — load, partition, metrics,
 // build — and starts a coordinator serving the shards to worker
 // processes (cmd/ebv-worker -coordinator, or RunClusterAgent in-process).
-// The caller must Close the cluster.
+// The caller must Close the cluster; canceling ctx also tears the
+// coordinator down (the cluster's lifecycle context derives from it).
 func (p *Pipeline) OpenCluster(ctx context.Context, opts ClusterOptions) (*Cluster, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -69,7 +70,7 @@ func (p *Pipeline) OpenCluster(ctx context.Context, opts ClusterOptions) (*Clust
 	if err != nil {
 		return nil, err
 	}
-	coord, err := cluster.NewCoordinator(cluster.Config{
+	coord, err := cluster.NewCoordinator(ctx, cluster.Config{
 		Subgraphs:        res.Subgraphs,
 		Listen:           opts.Listen,
 		HeartbeatTimeout: opts.HeartbeatTimeout,

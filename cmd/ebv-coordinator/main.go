@@ -173,14 +173,20 @@ func run(ctx context.Context) error {
 
 // writeValues prints "vertex value..." lines for the covered vertices,
 // ascending by vertex id — the same shape ebv-worker and ebv-run emit.
-func writeValues(path string, jr *ebv.ClusterJobResult) error {
+func writeValues(path string, jr *ebv.ClusterJobResult) (err error) {
 	w := os.Stdout
 	if path != "" {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
+		f, cerr := os.Create(path)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		// The close error is the data-loss error on a written file: join it
+		// into the return instead of dropping it (closeerr).
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		w = f
 	}
 	bw := bufio.NewWriter(w)

@@ -27,7 +27,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		kind       = flag.String("kind", "powerlaw", "generator: powerlaw | rmat | road | er | analogue")
 		vertices   = flag.Int("vertices", 100000, "vertex count (powerlaw, er)")
@@ -62,11 +62,17 @@ func run() error {
 
 	w := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		// The close error is the data-loss error on a written file: join it
+		// into the return instead of dropping it (closeerr).
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		w = f
 	}
 	switch *format {

@@ -38,7 +38,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context) error {
+func run(ctx context.Context) (err error) {
 	var (
 		in         = flag.String("in", "", "input graph path (.bin = binary, else text edge list)")
 		undirected = flag.Bool("undirected", false, "treat text input as undirected")
@@ -56,7 +56,6 @@ func run(ctx context.Context) error {
 	}
 
 	var p ebv.Partitioner
-	var err error
 	if *algo == "EBV" && (*alpha != 1 || *beta != 1) {
 		p = ebv.NewEBV(ebv.WithAlpha(*alpha), ebv.WithBeta(*beta))
 	} else {
@@ -92,11 +91,17 @@ func run(ctx context.Context) error {
 	fmt.Printf("replication factor %.4f\n", res.Metrics.ReplicationFactor)
 
 	if *outPath != "" {
-		out, err := os.Create(*outPath)
-		if err != nil {
-			return err
+		out, cerr := os.Create(*outPath)
+		if cerr != nil {
+			return cerr
 		}
-		defer out.Close()
+		// The close error is the data-loss error on a written file: join it
+		// into the return instead of dropping it (closeerr).
+		defer func() {
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		if strings.HasSuffix(*outPath, ".bin") {
 			err = ebv.WriteAssignmentBinary(out, res.Assignment)
 		} else {
@@ -118,7 +123,7 @@ func run(ctx context.Context) error {
 				return err
 			}
 			if err := ebv.WriteSubgraph(f, sub); err != nil {
-				f.Close()
+				_ = f.Close() // the write error takes precedence
 				return err
 			}
 			if err := f.Close(); err != nil {

@@ -70,7 +70,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context) error {
+func run(ctx context.Context) (err error) {
 	var (
 		coord   = flag.String("coordinator", "", "coordinator control-plane address (enables coordinator mode; most other flags are then unused)")
 		host    = flag.String("host", "127.0.0.1", "address to advertise for this worker's data-plane listener (coordinator mode)")
@@ -172,11 +172,17 @@ func run(ctx context.Context) error {
 
 	w := os.Stdout
 	if *outPath != "" {
-		out, err := os.Create(*outPath)
-		if err != nil {
-			return err
+		out, cerr := os.Create(*outPath)
+		if cerr != nil {
+			return cerr
 		}
-		defer out.Close()
+		// The close error is the data-loss error on a written file: join it
+		// into the return instead of dropping it (closeerr).
+		defer func() {
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}()
 		w = out
 	}
 	bw := bufio.NewWriter(w)

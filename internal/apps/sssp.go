@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"ebv/internal/bsp"
 	"ebv/internal/graph"
@@ -120,7 +121,14 @@ func (w *ssspWorker) Superstep(step int, in *transport.MessageBatch) (out []*tra
 		return nil, false
 	}
 	out = make([]*transport.MessageBatch, w.sub.NumWorkers)
+	// Emit in sorted local-vertex order: improved is a map, and map-order
+	// appends would break the byte-identity guarantee (detorder).
+	improved := make([]int32, 0, len(w.improved))
 	for v := range w.improved {
+		improved = append(improved, v)
+	}
+	slices.Sort(improved)
+	for _, v := range improved {
 		gid := w.sub.GlobalIDs[v]
 		val := w.dist[v]
 		for _, peer := range w.sub.ReplicaPeers[v] {

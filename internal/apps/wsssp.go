@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"slices"
 
 	"ebv/internal/bsp"
 	"ebv/internal/graph"
@@ -141,7 +142,14 @@ func (w *wssspWorker) Superstep(step int, in *transport.MessageBatch) (out []*tr
 		return nil, false
 	}
 	out = make([]*transport.MessageBatch, w.sub.NumWorkers)
+	// Emit in sorted local-vertex order: improved is a map, and map-order
+	// appends would break the byte-identity guarantee (detorder).
+	improved := make([]int32, 0, len(w.improved))
 	for v := range w.improved {
+		improved = append(improved, v)
+	}
+	slices.Sort(improved)
+	for _, v := range improved {
 		gid := w.sub.GlobalIDs[v]
 		val := w.dist[v]
 		for _, peer := range w.sub.ReplicaPeers[v] {

@@ -32,6 +32,8 @@ type Env struct {
 // NewBatch returns an empty pooled outgoing batch of the run's width.
 // Batches handed to the engine via Superstep's out slice are recycled by
 // the engine/transport after delivery.
+//
+//ebv:owns the program hands the batch back via Superstep's out slice; the engine recycles it after delivery
 func (e Env) NewBatch() *transport.MessageBatch {
 	return transport.GetBatch(e.ValueWidth)
 }
@@ -323,7 +325,7 @@ func (r *Result) Row(v graph.VertexID) ([]float64, bool) {
 // Run partitions nothing: it executes prog over the given subgraphs (built
 // with BuildSubgraphs) until global quiescence.
 func Run(subs []*Subgraph, prog Program, cfg Config) (*Result, error) {
-	return RunCtx(context.Background(), subs, prog, cfg)
+	return RunCtx(context.Background(), subs, prog, cfg) //ebv:nolint ctxflow ctx-less compat wrapper; RunCtx is the cancellable entry point
 }
 
 // RunCtx is Run with cancellation: each worker polls ctx at every superstep
@@ -718,7 +720,7 @@ type WorkerResult struct {
 // of a distributed run must agree on the combiner configuration — results
 // stay correct either way, but message counts and batch contents differ.
 func RunWorker(sub *Subgraph, prog Program, tr transport.Transport, cfg Config) (*WorkerResult, error) {
-	return RunWorkerCtx(context.Background(), sub, prog, tr, cfg)
+	return RunWorkerCtx(context.Background(), sub, prog, tr, cfg) //ebv:nolint ctxflow ctx-less compat wrapper; RunWorkerCtx is the cancellable entry point
 }
 
 // RunWorkerCtx is RunWorker with cancellation: ctx is polled at every

@@ -7,6 +7,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"ebv/internal/bsp"
 	"ebv/internal/graph"
@@ -256,17 +257,10 @@ func SelectRestoreEpoch(dir string, job, workers int) (step int, ok bool, err er
 		}
 	}
 	// Latest complete-looking epoch first; fall back past any epoch with a
-	// file that does not validate.
-	for {
-		best := -1
-		for _, s := range steps {
-			if s > best {
-				best = s
-			}
-		}
-		if best < 0 {
-			return 0, false, nil
-		}
+	// file that does not validate. The scan is bounded by the candidate
+	// list, so it needs no cancellation hook.
+	sort.Sort(sort.Reverse(sort.IntSlice(steps)))
+	for _, best := range steps {
 		valid := true
 		for p := 0; p < workers; p++ {
 			meta, cp, err := ReadCheckpointFile(CheckpointPath(dir, job, p, best))
@@ -278,12 +272,6 @@ func SelectRestoreEpoch(dir string, job, workers int) (step int, ok bool, err er
 		if valid {
 			return best, true, nil
 		}
-		kept := steps[:0]
-		for _, s := range steps {
-			if s != best {
-				kept = append(kept, s)
-			}
-		}
-		steps = kept
 	}
+	return 0, false, nil
 }

@@ -63,7 +63,7 @@ type testCluster struct {
 
 func newTestCluster(t *testing.T, subs []*bsp.Subgraph, hbTimeout time.Duration) *testCluster {
 	t.Helper()
-	coord, err := NewCoordinator(Config{
+	coord, err := NewCoordinator(context.Background(), Config{
 		Subgraphs:        subs,
 		HeartbeatTimeout: hbTimeout,
 		Logf:             t.Logf,
@@ -366,5 +366,39 @@ func TestControlFrameTamperDetected(t *testing.T) {
 	}
 	if n := tc.coord.NumRegistered(); n != 0 {
 		t.Fatalf("tampered hello registered %d workers", n)
+	}
+}
+
+// TestCoordinatorParentContextCancel pins the coordinator's lifecycle
+// contract (the ctxflow fix): NewCoordinator derives its internal context
+// from the caller's, so canceling the parent tears the coordinator down
+// like Close — a Run call fails promptly with "coordinator closed"
+// instead of waiting forever for a worker roster.
+func TestCoordinatorParentContextCancel(t *testing.T) {
+	subs := testSubs(t, testPathGraph(t, 64), 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	coord, err := NewCoordinator(ctx, Config{Subgraphs: subs, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Run(context.Background(), JobSpec{App: "CC"})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run succeeded under a canceled lifecycle context")
+		}
+		if !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("Run error = %v, want a coordinator-closed error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not observe the canceled lifecycle context")
 	}
 }

@@ -87,8 +87,11 @@ const (
 )
 
 // NewCoordinator builds a coordinator for the given partitioned graph and
-// starts listening for worker registrations.
-func NewCoordinator(cfg Config) (*Coordinator, error) {
+// starts listening for worker registrations. The coordinator's lifecycle
+// context derives from ctx: canceling it tears the coordinator down just
+// like Close (in-flight Run calls fail with "coordinator closed"). A nil
+// ctx falls back to context.Background for callers that only ever Close.
+func NewCoordinator(ctx context.Context, cfg Config) (*Coordinator, error) {
 	k := len(cfg.Subgraphs)
 	if k == 0 {
 		return nil, fmt.Errorf("cluster: no subgraphs")
@@ -123,7 +126,10 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
 	c := &Coordinator{
 		subs:      cfg.Subgraphs,
 		shards:    shards,

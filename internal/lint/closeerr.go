@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CloseErr mechanizes the WriteEdgeList bug class (fixed in PR 2: writer
+// errors were dropped because only Flush was checked): on write paths,
+// the LAST error is the one that matters — a buffered writer or written
+// file that fails on Close/Flush has silently truncated output.
+// staticcheck's defaults don't flag `defer f.Close()`; this analyzer is
+// stricter on the types where it has repeatedly bitten:
+//
+//   - unchecked Close/Flush/Sync (bare statement, defer, or go) on
+//     *bufio.Writer, on named writer/sink types declared in
+//     internal/graph, internal/harness and internal/cluster, and on
+//     *os.File variables opened for WRITING (os.Create/os.OpenFile in
+//     the same function — os.Open'd read-only files stay exempt);
+//   - (*csv.Writer).Flush — which returns nothing — without a subsequent
+//     cw.Error() check in the same function.
+//
+// An explicit `_ = w.Close()` assignment stays legal: it is a visible,
+// reviewable decision, typically on teardown paths where the run's
+// outcome is already decided.
+var CloseErr = &Analyzer{
+	Name: "closeerr",
+	Doc:  "Close/Flush errors on writer types must be checked: the last error is the data-loss error",
+	Run:  runCloseErr,
+}
+
+var closeErrTypePkgs = []string{
+	"ebv/internal/graph",
+	"ebv/internal/harness",
+	"ebv/internal/cluster",
+}
+
+func runCloseErr(pass *Pass) error {
+	info := pass.Pkg.TypesInfo
+	inspectStack(pass.Pkg.Files, func(n ast.Node, stack []ast.Node) bool {
+		var call *ast.CallExpr
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = ast.Unparen(x.X).(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = x.Call
+		case *ast.GoStmt:
+			call = x.Call
+		default:
+			return true
+		}
+		if call == nil {
+			return true
+		}
+		name := calleeName(call)
+		rt := recvType(info, call)
+		if rt == nil {
+			return true
+		}
+		if name == "Flush" && namedIn(rt, "encoding/csv", "Writer") {
+			checkCSVFlush(pass, info, call, stack)
+			return true
+		}
+		if name != "Close" && name != "Flush" && name != "Sync" {
+			return true
+		}
+		f := funcOf(info, call)
+		if f == nil {
+			return true
+		}
+		sig, _ := f.Type().(*types.Signature)
+		if sig == nil || sig.Results().Len() == 0 {
+			return true // void Close/Flush: nothing droppable
+		}
+		if !closeErrScoped(pass, info, rt, call, stack) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s.%s error discarded on a write path: the last error is the data-loss error — check it (the WriteEdgeList bug class; use `_ = ...` only for a deliberate, visible discard)",
+			typeLabel(rt), name)
+		return true
+	})
+	return nil
+}
+
+// closeErrScoped reports whether the receiver type is one the analyzer
+// polices.
+func closeErrScoped(pass *Pass, info *types.Info, rt types.Type, call *ast.CallExpr, stack []ast.Node) bool {
+	if namedIn(rt, "bufio", "Writer") {
+		return true
+	}
+	if n, ok := deref(rt).(*types.Named); ok && n.Obj().Pkg() != nil {
+		path := n.Obj().Pkg().Path()
+		for _, p := range closeErrTypePkgs {
+			if path == p {
+				return true
+			}
+		}
+		if strings.Contains(path, "/testdata/src/closeerr") {
+			return true
+		}
+	}
+	if namedIn(rt, "os", "File") {
+		return fileOpenedForWriting(info, call, stack)
+	}
+	return false
+}
+
+// fileOpenedForWriting reports whether the os.File receiver variable is
+// visibly opened for writing in the enclosing function (os.Create or
+// os.OpenFile); files from os.Open — or of unknown origin — are treated
+// as read-only.
+func fileOpenedForWriting(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	fd := enclosingFunc(stack)
+	if fd == nil {
+		return false
+	}
+	writing := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for j, lhs := range as.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || assignTarget(info, lid) != obj {
+				continue
+			}
+			// The file variable is bound from the first RHS call in both the
+			// 1:1 and f, err := ... forms.
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[j]
+			}
+			if c, ok := ast.Unparen(rhs).(*ast.CallExpr); ok &&
+				isPkgFunc(info, c, "os", "Create", "OpenFile", "CreateTemp") {
+				writing = true
+			}
+		}
+		return true
+	})
+	return writing
+}
+
+// checkCSVFlush flags (*csv.Writer).Flush not followed by an Error()
+// check on the same writer in the same function.
+func checkCSVFlush(pass *Pass, info *types.Info, call *ast.CallExpr, stack []ast.Node) {
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := info.Uses[id]
+	fd := enclosingFunc(stack)
+	if obj == nil || fd == nil {
+		return
+	}
+	checked := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok || calleeName(c) != "Error" || c.Pos() < call.End() {
+			return true
+		}
+		if s, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+			if rid, ok := ast.Unparen(s.X).(*ast.Ident); ok && info.Uses[rid] == obj {
+				checked = true
+			}
+		}
+		return !checked
+	})
+	if !checked {
+		pass.Reportf(call.Pos(),
+			"csv.Writer.Flush without a following %s.Error() check: buffered write errors are silently dropped (the WriteEdgeList bug class)", id.Name)
+	}
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression grammar. Two directive verbs exist:
+//
+//	//ebv:nolint <analyzer> <reason...>
+//	//ebv:owns <reason...>
+//
+// A nolint directive written at the end of a code line suppresses that
+// analyzer's diagnostics on that line; written on a line of its own it
+// suppresses them on the next line. The analyzer name must exist, the
+// reason is mandatory, and a directive that suppresses nothing is flagged
+// as stale by the runner — suppressions must stay tied to a live
+// violation, or they rot into false documentation.
+//
+// //ebv:owns documents an ownership-transferring return or append of a
+// pooled MessageBatch (see the batchown analyzer): the annotated function
+// hands the batch to its caller, who inherits the recycle obligation.
+const directivePrefix = "//ebv:"
+
+type directiveKind int
+
+const (
+	directiveNolint directiveKind = iota
+	directiveOwns
+	directiveUnknown
+)
+
+// directive is one parsed //ebv: comment.
+type directive struct {
+	kind directiveKind
+	verb string // the raw verb, for unknown-verb reporting
+	// analyzer is the named analyzer (nolint only; "" when missing).
+	analyzer string
+	// reason is the mandatory free-text justification.
+	reason string
+	pos    token.Pos
+	line   int // line the directive appears on
+	// standalone is true when the directive is alone on its line (it then
+	// applies to the following line).
+	standalone bool
+
+	suppressed int // diagnostics suppressed (runner bookkeeping)
+}
+
+// appliesToLine returns the line of code a nolint directive governs.
+func (d *directive) appliesToLine() int {
+	if d.standalone {
+		return d.line + 1
+	}
+	return d.line
+}
+
+// Directives parses and caches every //ebv: directive in the package.
+func (p *Package) Directives() []*directive {
+	if p.directives != nil {
+		return derefDirectives(p.directives)
+	}
+	var ds []directive
+	for i, f := range p.Files {
+		src := p.Sources[p.Filenames[i]]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				ds = append(ds, parseDirective(p, src, c))
+			}
+		}
+	}
+	if ds == nil {
+		ds = []directive{} // mark as collected
+	}
+	p.directives = ds
+	return derefDirectives(p.directives)
+}
+
+func derefDirectives(ds []directive) []*directive {
+	out := make([]*directive, len(ds))
+	for i := range ds {
+		out[i] = &ds[i]
+	}
+	return out
+}
+
+func parseDirective(p *Package, src []byte, c *ast.Comment) directive {
+	pos := p.Fset.Position(c.Slash)
+	d := directive{
+		pos:        c.Slash,
+		line:       pos.Line,
+		standalone: onlyCommentOnLine(src, pos),
+	}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		d.kind = directiveUnknown
+		return d
+	}
+	d.verb = fields[0]
+	switch d.verb {
+	case "nolint":
+		d.kind = directiveNolint
+		if len(fields) > 1 {
+			d.analyzer = fields[1]
+		}
+		if len(fields) > 2 {
+			d.reason = strings.Join(fields[2:], " ")
+		}
+	case "owns":
+		d.kind = directiveOwns
+		if len(fields) > 1 {
+			d.reason = strings.Join(fields[1:], " ")
+		}
+	default:
+		d.kind = directiveUnknown
+	}
+	return d
+}
+
+// onlyCommentOnLine reports whether the text before the comment on its
+// source line is all whitespace.
+func onlyCommentOnLine(src []byte, pos token.Position) bool {
+	// pos.Column is 1-based; walk back from the comment's offset to the
+	// preceding newline.
+	off := pos.Offset
+	for off > 0 {
+		ch := src[off-1]
+		if ch == '\n' {
+			return true
+		}
+		if ch != ' ' && ch != '\t' {
+			return false
+		}
+		off--
+	}
+	return true
+}
+
+// ownsAnnotated reports whether fn carries an //ebv:owns directive: in
+// its doc comment, or anywhere within its declaration's line span.
+func ownsAnnotated(p *Package, fn *ast.FuncDecl) bool {
+	startLine := p.Fset.Position(fn.Pos()).Line
+	endLine := p.Fset.Position(fn.End()).Line
+	file := p.Fset.Position(fn.Pos()).Filename
+	if fn.Doc != nil {
+		startLine = p.Fset.Position(fn.Doc.Pos()).Line
+	}
+	for _, d := range p.Directives() {
+		if d.kind != directiveOwns {
+			continue
+		}
+		dp := p.Fset.Position(d.pos)
+		if dp.Filename == file && dp.Line >= startLine && dp.Line <= endLine {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseTestPackage builds a Package (without type info) from source, for
+// exercising the directive machinery in isolation.
+func parseTestPackage(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{
+		PkgPath:   "ebv/internal/lint/testpkg",
+		Name:      "p",
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Filenames: []string{"d.go"},
+		Sources:   map[string][]byte{"d.go": []byte(src)},
+	}
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	src := `package p
+
+var x = 1 //ebv:nolint detorder eol form applies here
+//ebv:nolint batchown standalone form applies to the next line
+var y = 2
+
+//ebv:owns the caller recycles
+func f() {}
+
+//ebv:nolint ctxflow
+var z = 3
+
+//ebv:mystery verb
+var w = 4
+`
+	pkg := parseTestPackage(t, src)
+	ds := pkg.Directives()
+	if len(ds) != 5 {
+		t.Fatalf("got %d directives, want 5", len(ds))
+	}
+
+	eol := ds[0]
+	if eol.kind != directiveNolint || eol.analyzer != "detorder" || eol.reason != "eol form applies here" {
+		t.Errorf("eol directive parsed as %+v", eol)
+	}
+	if eol.standalone || eol.appliesToLine() != 3 {
+		t.Errorf("eol directive on line 3 applies to line %d (standalone=%v), want 3", eol.appliesToLine(), eol.standalone)
+	}
+
+	standalone := ds[1]
+	if standalone.analyzer != "batchown" || !standalone.standalone {
+		t.Errorf("standalone directive parsed as %+v", standalone)
+	}
+	if standalone.appliesToLine() != standalone.line+1 {
+		t.Errorf("standalone directive applies to %d, want next line %d", standalone.appliesToLine(), standalone.line+1)
+	}
+
+	owns := ds[2]
+	if owns.kind != directiveOwns || owns.reason != "the caller recycles" {
+		t.Errorf("owns directive parsed as %+v", owns)
+	}
+
+	noReason := ds[3]
+	if noReason.kind != directiveNolint || noReason.analyzer != "ctxflow" || noReason.reason != "" {
+		t.Errorf("reasonless directive parsed as %+v", noReason)
+	}
+
+	unknown := ds[4]
+	if unknown.kind != directiveUnknown || unknown.verb != "mystery" {
+		t.Errorf("unknown-verb directive parsed as %+v", unknown)
+	}
+}
+
+func TestOwnsAnnotated(t *testing.T) {
+	src := `package p
+
+// mint hands the batch to its caller.
+//
+//ebv:owns caller recycles after the exchange drains
+func mint() {}
+
+func bare() {}
+`
+	pkg := parseTestPackage(t, src)
+	var mint, bare *ast.FuncDecl
+	for _, d := range pkg.Files[0].Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			switch fd.Name.Name {
+			case "mint":
+				mint = fd
+			case "bare":
+				bare = fd
+			}
+		}
+	}
+	if !ownsAnnotated(pkg, mint) {
+		t.Errorf("mint's doc-comment //ebv:owns not recognized")
+	}
+	if ownsAnnotated(pkg, bare) {
+		t.Errorf("bare reported owns-annotated without a directive")
+	}
+}
+
+// TestSuppressRequiresReason pins the rule that a reasonless nolint is
+// inert: it must not suppress, so the violation it hides stays visible
+// while nolintlint separately flags the malformed directive.
+func TestSuppressRequiresReason(t *testing.T) {
+	src := `package p
+
+var a = 1 //ebv:nolint detorder
+var b = 2 //ebv:nolint detorder has a reason
+`
+	pkg := parseTestPackage(t, src)
+	diag := func(line int) Diagnostic {
+		return Diagnostic{
+			Analyzer: "detorder",
+			Pos:      token.Position{Filename: "d.go", Line: line, Column: 1},
+			Message:  "synthetic violation",
+		}
+	}
+	kept := suppress(pkg, []Diagnostic{diag(3), diag(4)})
+	if len(kept) != 1 || kept[0].Pos.Line != 3 {
+		t.Fatalf("suppress kept %v, want only the line-3 diagnostic (reasonless directive is inert)", kept)
+	}
+}
+
+// TestStaleDetectionScope pins that stale detection only condemns
+// directives whose analyzer was actually selected for the run.
+func TestStaleDetectionScope(t *testing.T) {
+	src := `package p
+
+var a = 1 //ebv:nolint detorder nothing here to suppress
+var b = 2 //ebv:nolint batchown nothing here either
+`
+	pkg := parseTestPackage(t, src)
+	pkg.Directives() // populate; no diagnostics were suppressed
+
+	stale := staleDirectives(pkg, map[string]bool{"detorder": true, "nolintlint": true})
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale diagnostics, want 1 (only the selected analyzer's directive)", len(stale))
+	}
+	if stale[0].Analyzer != NolintLint.Name || stale[0].Pos.Line != 3 {
+		t.Errorf("stale diagnostic %+v, want nolintlint at line 3", stale[0])
+	}
+}

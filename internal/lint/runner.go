@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"fmt"
+)
+
+// RunAnalyzers runs the given analyzers over the packages, applies
+// //ebv:nolint suppression, and returns the surviving diagnostics sorted
+// by position.
+//
+// Stale-directive detection (a well-formed nolint that suppressed
+// nothing) runs only when nolintlint is among the selected analyzers AND
+// the directive names a selected analyzer — running a single analyzer
+// over a package must not condemn directives belonging to the rest of
+// the suite. nolintlint's own diagnostics are not suppressible: a
+// malformed suppression must not be able to hide itself.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	selected := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		selected[a.Name] = true
+	}
+
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+		diags = suppress(pkg, diags)
+		if selected[NolintLint.Name] {
+			diags = append(diags, staleDirectives(pkg, selected)...)
+		}
+		all = append(all, diags...)
+	}
+	sortDiags(all)
+	return all, nil
+}
+
+// suppress drops diagnostics governed by a matching //ebv:nolint
+// directive, counting each directive's kills for staleness detection.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ds := pkg.Directives()
+	if len(ds) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, diag := range diags {
+		if diag.Analyzer == NolintLint.Name {
+			kept = append(kept, diag)
+			continue
+		}
+		suppressed := false
+		for _, d := range ds {
+			if d.kind != directiveNolint || d.analyzer != diag.Analyzer || d.reason == "" {
+				continue
+			}
+			dp := pkg.Fset.Position(d.pos)
+			if dp.Filename == diag.Pos.Filename && d.appliesToLine() == diag.Pos.Line {
+				d.suppressed++
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	return kept
+}
+
+// staleDirectives flags well-formed nolint directives that suppressed no
+// diagnostic of their (selected) analyzer.
+func staleDirectives(pkg *Package, selected map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range pkg.Directives() {
+		if d.kind != directiveNolint || d.analyzer == "" || d.reason == "" {
+			continue // malformed; nolintlint reports those
+		}
+		if !selected[d.analyzer] {
+			continue
+		}
+		if d.suppressed == 0 {
+			out = append(out, Diagnostic{
+				Analyzer: NolintLint.Name,
+				Pos:      pkg.Fset.Position(d.pos),
+				Message: fmt.Sprintf(
+					"stale //ebv:nolint %s: it suppresses no diagnostic on line %d — fix the justification or delete it",
+					d.analyzer, d.appliesToLine()),
+			})
+		}
+	}
+	return out
+}

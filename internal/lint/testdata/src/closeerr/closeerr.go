@@ -1,0 +1,111 @@
+// Package closeerr is the closeerr analyzer's fixture: dropped
+// Close/Flush errors on write paths versus the checked idioms.
+package closeerr
+
+import (
+	"bufio"
+	"encoding/csv"
+	"os"
+)
+
+// Sink is a named writer type in a policed package (the fixture stands
+// in for internal/graph and internal/harness writer types).
+type Sink struct{}
+
+func (s *Sink) Close() error { return nil }
+
+func (s *Sink) Flush() error { return nil }
+
+// Tap has a void Close: nothing droppable, never flagged.
+type Tap struct{}
+
+func (t *Tap) Close() {}
+
+func uncheckedSinkDefer(s *Sink) {
+	defer s.Close() // want "error discarded"
+}
+
+func uncheckedSinkStmt(s *Sink) {
+	s.Flush() // want "error discarded"
+}
+
+func uncheckedSinkGo(s *Sink) {
+	go s.Close() // want "error discarded"
+}
+
+func checkedSink(s *Sink) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+func explicitDiscard(s *Sink) {
+	_ = s.Close()
+}
+
+func voidClose(t *Tap) {
+	defer t.Close()
+}
+
+func uncheckedBufio(w *bufio.Writer) {
+	w.Flush() // want "error discarded"
+}
+
+func checkedBufio(w *bufio.Writer) error {
+	return w.Flush()
+}
+
+func writeFileLeakyClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "error discarded"
+	_, err = f.WriteString("x")
+	return err
+}
+
+func writeFileChecked(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.WriteString("x")
+	return err
+}
+
+func readFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 8)
+	_, err = f.Read(buf)
+	return err
+}
+
+func csvUnchecked(f *os.File, rows [][]string) {
+	cw := csv.NewWriter(f)
+	for _, r := range rows {
+		_ = cw.Write(r)
+	}
+	cw.Flush() // want "without a following"
+}
+
+func csvChecked(f *os.File, rows [][]string) error {
+	cw := csv.NewWriter(f)
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

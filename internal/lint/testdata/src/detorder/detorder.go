@@ -1,0 +1,80 @@
+// Package detorder is the detorder analyzer's fixture: map-order
+// iteration feeding ordered sinks, and the sorted idioms that replace it.
+package detorder
+
+import (
+	"bufio"
+	"fmt"
+	"maps"
+	"sort"
+	"strings"
+
+	"ebv/internal/graph"
+	"ebv/internal/transport"
+)
+
+func unsortedFprintf(w *bufio.Writer, m map[int]float64) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%d %g\n", k, v) // want "inside a range over a map"
+	}
+}
+
+func unsortedBatchAppend(b *transport.MessageBatch, m map[graph.VertexID]float64) {
+	for id, v := range m {
+		b.AppendScalar(id, v) // want "inside a range over a map"
+	}
+}
+
+func unsortedBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "inside a range over a map"
+	}
+	return sb.String()
+}
+
+func unsortedIterator(w *bufio.Writer, m map[int]int) {
+	for k := range maps.Keys(m) {
+		fmt.Fprintln(w, k) // want "inside a range over a map"
+	}
+}
+
+// WritePair is a module-level Write* helper: calling it from inside a
+// map range is as order-sensitive as writing directly.
+func WritePair(w *bufio.Writer, k, v int) {
+	fmt.Fprintf(w, "%d %d\n", k, v)
+}
+
+func unsortedViaHelper(w *bufio.Writer, m map[int]int) {
+	for k, v := range m {
+		WritePair(w, k, v) // want "inside a range over a map"
+	}
+}
+
+// sortedFprintf is the sanctioned shape: collect, sort, then emit.
+func sortedFprintf(w *bufio.Writer, m map[int]float64) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%d %g\n", k, m[k])
+	}
+}
+
+// sliceEmit ranges a slice: order is the caller's, deterministic.
+func sliceEmit(w *bufio.Writer, xs []int) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}
+
+// accumulate folds commutatively inside a map range: no ordered sink.
+func accumulate(m map[int]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,76 @@
+// Package teardowncause is the teardowncause analyzer's fixture: mux
+// methods returning raw connection errors versus the cause-aware shape.
+package teardowncause
+
+import (
+	"fmt"
+	"net"
+)
+
+func readJobFrame(c *net.TCPConn, buf []byte) (int, error) {
+	return c.Read(buf)
+}
+
+// rawMux never consults a recorded failure cause: its raw returns are
+// exactly the PR 5/6 flake class.
+type rawMux struct {
+	conn *net.TCPConn
+}
+
+func (m *rawMux) Exchange(buf []byte) error {
+	_, err := m.conn.Read(buf)
+	if err != nil {
+		return err // want "raw connection error"
+	}
+	return nil
+}
+
+func (m *rawMux) Send(buf []byte) error {
+	_, err := m.conn.Write(buf)
+	if err != nil {
+		return fmt.Errorf("send: %w", err) // want "raw connection error"
+	}
+	return nil
+}
+
+func (m *rawMux) Recv(buf []byte) (int, error) {
+	n, err := readJobFrame(m.conn, buf)
+	return n, err // want "raw connection error"
+}
+
+// Validate returns a non-I/O error: nothing to route through a cause.
+func (m *rawMux) Validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad frame size %d", n)
+	}
+	return nil
+}
+
+// causeMux records and consults its failure cause before surfacing
+// connection errors — the two-phase teardown discipline.
+type causeMux struct {
+	conn   *net.TCPConn
+	failed error
+}
+
+func (m *causeMux) Exchange(buf []byte) error {
+	_, err := m.conn.Read(buf)
+	if err != nil {
+		if m.failed != nil {
+			return m.failed
+		}
+		return err
+	}
+	return nil
+}
+
+// reader is not a mux or deployment type: raw returns are its caller's
+// concern.
+type reader struct {
+	conn *net.TCPConn
+}
+
+func (r *reader) ReadAll(buf []byte) (int, error) {
+	n, err := r.conn.Read(buf)
+	return n, err
+}

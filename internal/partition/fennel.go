@@ -33,7 +33,7 @@ func (f *Fennel) Name() string { return "Fennel" }
 
 // Partition implements Partitioner.
 func (f *Fennel) Partition(g *graph.Graph, k int) (*Assignment, error) {
-	return f.PartitionCtx(context.Background(), g, k)
+	return f.PartitionCtx(context.Background(), g, k) //ebv:nolint ctxflow ctx-less compat wrapper; PartitionCtx is the cancellable entry point
 }
 
 // PartitionCtx implements ContextPartitioner: the vertex stream polls ctx
@@ -53,7 +53,7 @@ func (f *Fennel) PartitionCtx(ctx context.Context, g *graph.Graph, k int) (*Assi
 // VertexPartition runs the streaming vertex placement and returns the
 // owner of every vertex.
 func (f *Fennel) VertexPartition(g *graph.Graph, k int) ([]int32, error) {
-	return f.vertexPartition(context.Background(), g, k)
+	return f.vertexPartition(context.Background(), g, k) //ebv:nolint ctxflow ctx-less compat wrapper; VertexPartitionCtx is the cancellable entry point
 }
 
 func (f *Fennel) vertexPartition(ctx context.Context, g *graph.Graph, k int) ([]int32, error) {

@@ -30,7 +30,7 @@ func (h *HDRF) Name() string { return "HDRF" }
 
 // Partition implements Partitioner.
 func (h *HDRF) Partition(g *graph.Graph, k int) (*Assignment, error) {
-	return h.PartitionCtx(context.Background(), g, k)
+	return h.PartitionCtx(context.Background(), g, k) //ebv:nolint ctxflow ctx-less compat wrapper; PartitionCtx is the cancellable entry point
 }
 
 // PartitionCtx implements ContextPartitioner: the edge stream polls ctx

@@ -28,7 +28,7 @@ func (h *Hybrid) Name() string { return "Hybrid" }
 
 // Partition implements Partitioner.
 func (h *Hybrid) Partition(g *graph.Graph, k int) (*Assignment, error) {
-	return h.PartitionCtx(context.Background(), g, k)
+	return h.PartitionCtx(context.Background(), g, k) //ebv:nolint ctxflow ctx-less compat wrapper; PartitionCtx is the cancellable entry point
 }
 
 // PartitionCtx implements ContextPartitioner: the edge stream polls ctx

@@ -344,6 +344,10 @@ func (j *muxJob) drainInboxes() {
 }
 
 // Exchange implements Transport for one job over the shared mesh.
+// Cancellation is Close() by design — the Transport contract (see
+// RunWorkerCtx, which closes the transport when its ctx fires).
+//
+//ebv:nolint ctxflow Transport.Exchange cancels via Close, not a context parameter
 func (j *muxJob) Exchange(worker, step int, out []*MessageBatch, active bool) (ExchangeResult, error) {
 	n := j.node
 	if worker != n.worker {

@@ -60,7 +60,7 @@ func newTCP(worker, k int) *TCP {
 // deployment would dial remote addresses instead but uses the same frame
 // protocol.
 func NewTCPMesh(k int) ([]*TCP, error) {
-	return NewTCPMeshCtx(context.Background(), k)
+	return NewTCPMeshCtx(context.Background(), k) //ebv:nolint ctxflow ctx-less compat wrapper; NewTCPMeshCtx is the cancellable entry point
 }
 
 // NewTCPMeshCtx is NewTCPMesh with cancellation: dials honor ctx's

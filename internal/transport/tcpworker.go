@@ -19,7 +19,7 @@ import (
 // come up (bounded by dialTimeout). This is the entry point cmd/ebv-worker
 // uses to run one BSP worker per OS process (or per host).
 func NewTCPWorker(worker int, addrs []string, dialTimeout time.Duration) (*TCP, error) {
-	return NewTCPWorkerCtx(context.Background(), worker, addrs, dialTimeout)
+	return NewTCPWorkerCtx(context.Background(), worker, addrs, dialTimeout) //ebv:nolint ctxflow ctx-less compat wrapper; NewTCPWorkerCtx is the cancellable entry point
 }
 
 // NewTCPWorkerCtx is NewTCPWorker with cancellation: the dial retry loops
