@@ -8,10 +8,18 @@
 //	ebv-bench -exp table3          # one experiment
 //	ebv-bench -exp fig2 -scale 0.5 # faster
 //	ebv-bench -list
+//
+// With -serve it instead load-tests a running ebv-serve instance and
+// writes a BENCH_serve.json report (jobs/sec, latency percentiles,
+// reject rate):
+//
+//	ebv-bench -serve http://127.0.0.1:8080 -serve-graph social \
+//	    -qps 40 -duration 10s -mix cc:5,pr:3,sssp:2 -out BENCH_serve.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,6 +31,7 @@ import (
 	"time"
 
 	"ebv"
+	"ebv/internal/serve"
 )
 
 func main() {
@@ -51,10 +60,26 @@ func run(ctx context.Context) error {
 		repeat   = flag.Int("repeat", 1, "repeats for timing experiments (Table II; reports mean ± stddev)")
 		par      = flag.Int("parallelism", 0, "CPUs for the subgraph-build passes (0 = GOMAXPROCS)")
 		combine  = flag.String("combine", "off", "message combining in the BSP runs: off (paper-faithful counts) | auto (each app's natural combiner)")
+
+		serveURL     = flag.String("serve", "", "load-test a running ebv-serve at this base URL instead of running experiments")
+		serveGraph   = flag.String("serve-graph", "", "graph name to target in -serve mode")
+		qps          = flag.Float64("qps", 20, "offered request rate in -serve mode")
+		duration     = flag.Duration("duration", 10*time.Second, "load duration in -serve mode")
+		mixSpec      = flag.String("mix", "cc:5,pr:3,sssp:2", "weighted app mix in -serve mode, e.g. cc:5,pr:3,sssp:2")
+		out          = flag.String("out", "BENCH_serve.json", "report path in -serve mode ('-' for stdout)")
+		serveTimeout = flag.Duration("serve-timeout", 30*time.Second, "per-request timeout in -serve mode")
+		source       = flag.Int64("source", 0, "SSSP/WSSSP source vertex in -serve mode")
 	)
 	flag.Parse()
 	if *combine != "auto" && *combine != "off" {
 		return fmt.Errorf("invalid -combine %q (valid: auto, off)", *combine)
+	}
+
+	if *serveURL != "" {
+		return serveLoad(ctx, serveLoadArgs{
+			url: *serveURL, graph: *serveGraph, mix: *mixSpec, out: *out,
+			qps: *qps, duration: *duration, timeout: *serveTimeout, source: *source,
+		})
 	}
 
 	if *list {
@@ -97,4 +122,77 @@ func run(ctx context.Context) error {
 		fmt.Printf("\n[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+type serveLoadArgs struct {
+	url, graph, mix, out string
+	qps                  float64
+	duration             time.Duration
+	timeout              time.Duration
+	source               int64
+}
+
+// serveLoad drives a running ebv-serve instance and writes the
+// BENCH_serve.json report. It exits non-zero when the run completed no
+// jobs or failed any — which is exactly the CI smoke assertion.
+func serveLoad(ctx context.Context, args serveLoadArgs) error {
+	if args.graph == "" {
+		return errors.New("-serve mode needs -serve-graph")
+	}
+	mix, err := serve.ParseMix(args.mix)
+	if err != nil {
+		return err
+	}
+	report, err := serve.RunLoad(ctx, serve.LoadConfig{
+		BaseURL:  args.url,
+		Graph:    args.graph,
+		Mix:      mix,
+		QPS:      args.qps,
+		Duration: args.duration,
+		Timeout:  args.timeout,
+		Source:   args.source,
+		Warmup:   true,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "ebv-bench: "+format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeReport(args.out, report); err != nil {
+		return err
+	}
+	if report.Completed == 0 {
+		return errors.New("load run completed zero jobs")
+	}
+	if report.Failed > 0 {
+		return fmt.Errorf("load run had %d failed jobs (first errors: %s)",
+			report.Failed, strings.Join(report.Errors, "; "))
+	}
+	return nil
+}
+
+// writeReport marshals the report to path ('-' for stdout), joining any
+// close error into the result so a full disk is not silently ignored.
+func writeReport(path string, report *serve.LoadReport) (err error) {
+	payload, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(payload)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write(payload)
+	return err
 }

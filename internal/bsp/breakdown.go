@@ -83,17 +83,19 @@ func (r *Result) TotalMessages() int64 {
 // reported honestly: Emitted ≥ Wire always (sender-side combining), and
 // Delivered ≤ Wire (receiver-side combining). Without a combiner all
 // three are equal.
+// The JSON tags are a stable lowercase surface: ebv.JobResult and the
+// serve-layer job responses marshal these counts directly.
 type MessageCounts struct {
 	// Emitted counts the rows programs produced for other workers, before
 	// any combining.
-	Emitted int64
+	Emitted int64 `json:"emitted"`
 	// Wire counts the rows that crossed the exchange (post sender-side
 	// combining) — the platform-independent network-volume metric
 	// TotalMessages reports.
-	Wire int64
+	Wire int64 `json:"wire"`
 	// Delivered counts the rows that survived receiver-side combining
 	// into the programs' inboxes.
-	Delivered int64
+	Delivered int64 `json:"delivered"`
 }
 
 // MessageCounts returns the run's pre/post-combine message accounting.

@@ -291,7 +291,7 @@ func (a *Agent) serve(ctx context.Context, sub *bsp.Subgraph, p *pendingAttempt,
 		_ = p.ln.Close()
 		return fmt.Errorf("start lists %d addresses, want %d", len(addrs), sub.NumWorkers)
 	}
-	prog, err := p.spec.program()
+	prog, err := p.spec.Program()
 	if err != nil {
 		_ = p.ln.Close()
 		return err

@@ -76,8 +76,11 @@ type JobSpec struct {
 	MaxAttempts int
 }
 
-// program instantiates the named program.
-func (s JobSpec) program() (bsp.Program, error) {
+// Program instantiates the named program. This is the app registry every
+// by-name serving surface shares: cluster jobs cross the wire as specs,
+// and the HTTP service (internal/serve) resolves request app names through
+// the same switch, so one list of valid names exists.
+func (s JobSpec) Program() (bsp.Program, error) {
 	switch strings.ToUpper(s.App) {
 	case "CC":
 		return &apps.CC{}, nil

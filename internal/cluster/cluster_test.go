@@ -159,7 +159,7 @@ func TestClusterCleanRuns(t *testing.T) {
 
 func mustProgram(t *testing.T, spec JobSpec) bsp.Program {
 	t.Helper()
-	prog, err := spec.program()
+	prog, err := spec.Program()
 	if err != nil {
 		t.Fatal(err)
 	}

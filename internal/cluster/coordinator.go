@@ -441,7 +441,7 @@ func (c *Coordinator) waitRoster(ctx context.Context) ([]*workerConn, error) {
 func (c *Coordinator) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
-	if _, err := spec.program(); err != nil {
+	if _, err := spec.Program(); err != nil {
 		return nil, err
 	}
 	c.mu.Lock()

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"slices"
+	"time"
+)
+
+// Latency percentile helpers shared by the serving-path measurements: the
+// ebv-bench load generator's BENCH_serve.json report and the serve-layer
+// tests compute exact sample percentiles with these, while the service's
+// /metrics endpoint approximates the same quantiles from histogram
+// buckets (internal/serve/metrics.go) — comparing the two is a useful
+// sanity check on the histogram's bucket layout.
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the ascending-sorted
+// samples, linearly interpolating between the two nearest order
+// statistics (the "R-7" estimator, numpy's default). It returns 0 for an
+// empty slice; q outside [0, 1] is clamped.
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo] + time.Duration(frac*float64(sorted[lo+1]-sorted[lo]))
+}
+
+// Quantiles sorts a copy of samples and returns the requested quantiles,
+// one per q, in the given order.
+func Quantiles(samples []time.Duration, qs ...float64) []time.Duration {
+	sorted := slices.Clone(samples)
+	slices.Sort(sorted)
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		out[i] = Quantile(sorted, q)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuantile(t *testing.T) {
+	sorted := []time.Duration{10, 20, 30, 40, 50}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 10}, {1, 50}, {-0.5, 10}, {1.5, 50}, // clamped ends
+		{0.5, 30},  // exact order statistic
+		{0.25, 20}, // pos = 1.0
+		{0.1, 14},  // pos 0.4: 10 + 0.4*(20-10)
+		{0.9, 46},  // pos 3.6: 40 + 0.6*(50-40)
+	}
+	for _, tc := range cases {
+		if got := Quantile(sorted, tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := Quantile([]time.Duration{7}, 0.99); got != 7 {
+		t.Errorf("single-sample Quantile = %v, want 7", got)
+	}
+}
+
+func TestQuantilesSortsACopy(t *testing.T) {
+	samples := []time.Duration{50, 10, 30, 20, 40}
+	got := Quantiles(samples, 0.5, 1.0)
+	if got[0] != 30 || got[1] != 50 {
+		t.Fatalf("Quantiles = %v, want [30 50]", got)
+	}
+	// The input order must survive (callers keep using their slice).
+	if samples[0] != 50 || samples[4] != 40 {
+		t.Fatalf("Quantiles mutated its input: %v", samples)
+	}
+}

@@ -36,6 +36,7 @@ var ctxFlowScope = []string{
 	"ebv/internal/transport",
 	"ebv/internal/cluster",
 	"ebv/internal/partition",
+	"ebv/internal/serve",
 }
 
 func runCtxFlow(pass *Pass) error {

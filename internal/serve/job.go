@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"ebv"
+	"ebv/internal/cluster"
+)
+
+// JobRequest is the POST /v1/jobs body: one graph query, naming the
+// application through the cluster layer's app registry (CC, PR, SSSP,
+// WSSSP, Aggregate — case-insensitive) plus its parameters. Zero values
+// select each program's defaults.
+type JobRequest struct {
+	// Graph names one of the server's configured graphs.
+	Graph string `json:"graph"`
+	// App selects the program from the shared registry.
+	App string `json:"app"`
+	// Iterations is PR's iteration count (0 = default 10).
+	Iterations int `json:"iterations,omitempty"`
+	// Damping is PR's damping factor (0 = default 0.85).
+	Damping float64 `json:"damping,omitempty"`
+	// Source is the SSSP/WSSSP source vertex.
+	Source int64 `json:"source,omitempty"`
+	// Layers is Aggregate's layer count (0 = default 2).
+	Layers int `json:"layers,omitempty"`
+	// Width is the per-vertex value width (0 = the graph session's
+	// default, i.e. 1).
+	Width int `json:"width,omitempty"`
+	// MaxSteps caps the job's supersteps (0 = engine default).
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Combine enables the program's declared message combiner for this
+	// job (jobs on a Combine-configured graph combine regardless).
+	Combine bool `json:"combine,omitempty"`
+	// TimeoutMS bounds the job end to end — queue wait, warm-up wait and
+	// every superstep (the deadline propagates as context through the
+	// engine). 0 selects the server default; values above the server cap
+	// are clamped to it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Vertices asks for specific vertices' result values in the
+	// response (the full value matrix is never returned over HTTP).
+	Vertices []int64 `json:"vertices,omitempty"`
+}
+
+// program resolves the request's app through the shared registry.
+func (jr *JobRequest) program() (ebv.Program, error) {
+	spec := cluster.JobSpec{
+		App:        jr.App,
+		Iterations: jr.Iterations,
+		Damping:    jr.Damping,
+		Source:     jr.Source,
+		Layers:     jr.Layers,
+	}
+	return spec.Program()
+}
+
+// runOptions builds the per-job session options.
+func (jr *JobRequest) runOptions() []ebv.RunOption {
+	var opts []ebv.RunOption
+	if jr.Width > 0 {
+		opts = append(opts, ebv.WithValueWidth(jr.Width))
+	}
+	if jr.MaxSteps > 0 {
+		opts = append(opts, ebv.WithMaxSteps(jr.MaxSteps))
+	}
+	if jr.Combine {
+		opts = append(opts, ebv.AutoCombine(true))
+	}
+	return opts
+}
+
+// validate rejects malformed parameters before admission so a bad
+// request never consumes a queue slot.
+func (jr *JobRequest) validate() error {
+	if jr.Graph == "" {
+		return fmt.Errorf("serve: job request has no graph")
+	}
+	if jr.Width < 0 {
+		return fmt.Errorf("serve: width %d invalid: must be >= 1 (or 0 for the default)", jr.Width)
+	}
+	if jr.MaxSteps < 0 {
+		return fmt.Errorf("serve: max_steps %d invalid: must be >= 0", jr.MaxSteps)
+	}
+	if jr.TimeoutMS < 0 {
+		return fmt.Errorf("serve: timeout_ms %d invalid: must be >= 0", jr.TimeoutMS)
+	}
+	if _, err := jr.program(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// VertexValue is one requested vertex's result row.
+type VertexValue struct {
+	Vertex int64 `json:"vertex"`
+	// Covered reports whether any subgraph computed this vertex (an
+	// uncovered or out-of-range vertex has no value).
+	Covered bool `json:"covered"`
+	// Value is the vertex's value row (width columns), nil if uncovered.
+	Value []float64 `json:"value,omitempty"`
+}
+
+// JobResponse is the POST /v1/jobs success body.
+type JobResponse struct {
+	Graph string `json:"graph"`
+	// Job is the session-scoped job number on the graph's session.
+	Job        int    `json:"job"`
+	Program    string `json:"program"`
+	Steps      int    `json:"steps"`
+	ValueWidth int    `json:"value_width"`
+	// RunTimeMS is the execution time inside the session (supersteps
+	// only); QueueTimeMS is admission-to-execution wait (queue + warm-up
+	// + run-slot wait); TotalTimeMS is their sum — what the client saw.
+	RunTimeMS   float64 `json:"run_time_ms"`
+	QueueTimeMS float64 `json:"queue_time_ms"`
+	TotalTimeMS float64 `json:"total_time_ms"`
+	// Messages is the job's emitted/wire/delivered row accounting.
+	Messages ebv.MessageCounts `json:"message_counts"`
+	// Values holds the requested vertices' result rows, in request
+	// order.
+	Values []VertexValue `json:"values,omitempty"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// buildResponse assembles the success body from a completed job.
+func buildResponse(req *JobRequest, jr *ebv.JobResult, queueWait, total float64) *JobResponse {
+	resp := &JobResponse{
+		Graph:       req.Graph,
+		Job:         jr.Job,
+		Program:     jr.Program,
+		Steps:       jr.Steps,
+		ValueWidth:  jr.ValueWidth,
+		RunTimeMS:   1000 * jr.RunTime.Seconds(),
+		QueueTimeMS: queueWait,
+		TotalTimeMS: total,
+		Messages:    jr.Counts,
+	}
+	for _, v := range req.Vertices {
+		vv := VertexValue{Vertex: v}
+		if v >= 0 && v <= math.MaxUint32 {
+			if row, ok := jr.BSP.Row(ebv.VertexID(v)); ok {
+				vv.Covered = true
+				vv.Value = append([]float64(nil), row...)
+			}
+		}
+		resp.Values = append(resp.Values, vv)
+	}
+	return resp
+}

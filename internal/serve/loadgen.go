@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ebv/internal/harness"
+)
+
+// The load generator drives a running ebv-serve instance over HTTP at a
+// fixed offered rate and reports what the service actually delivered:
+// jobs/sec, latency percentiles, and the reject rate under admission
+// control. cmd/ebv-bench's -serve mode wraps it into BENCH_serve.json;
+// the serve tests reuse it to saturate a tiny queue deterministically.
+
+// MixEntry is one weighted application in the request mix.
+type MixEntry struct {
+	App    string `json:"app"`
+	Weight int    `json:"weight"`
+}
+
+// ParseMix parses a "cc:5,pr:3,sssp:2" mix specification. Entries
+// without a weight default to 1.
+func ParseMix(spec string) ([]MixEntry, error) {
+	var mix []MixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		app, weightStr, found := strings.Cut(part, ":")
+		weight := 1
+		if found {
+			w, err := strconv.Atoi(strings.TrimSpace(weightStr))
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("serve: mix entry %q: weight must be a positive integer", part)
+			}
+			weight = w
+		}
+		app = strings.TrimSpace(app)
+		if app == "" {
+			return nil, fmt.Errorf("serve: mix entry %q has no app", part)
+		}
+		mix = append(mix, MixEntry{App: app, Weight: weight})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("serve: empty request mix %q", spec)
+	}
+	return mix, nil
+}
+
+// mixSchedule unrolls the weighted mix into a deterministic round-robin
+// cycle: cc:2,pr:1 → [cc, pr, cc] (interleaved by largest remainder, not
+// blocked runs, so short windows still see every app).
+func mixSchedule(mix []MixEntry) []string {
+	total := 0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	credit := make([]float64, len(mix))
+	cycle := make([]string, 0, total)
+	for range total {
+		best := 0
+		for i, m := range mix {
+			credit[i] += float64(m.Weight) / float64(total)
+			if credit[i] > credit[best] {
+				best = i
+			}
+		}
+		credit[best] -= 1
+		cycle = append(cycle, mix[best].App)
+	}
+	return cycle
+}
+
+// LoadConfig parameterizes one load-generation run.
+type LoadConfig struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Graph is the target graph name (every request hits this graph).
+	Graph string
+	// Mix is the weighted application mix (see ParseMix).
+	Mix []MixEntry
+	// QPS is the offered request rate (default 20).
+	QPS float64
+	// Duration is how long to offer load (default 10s).
+	Duration time.Duration
+	// MaxInFlight caps the generator's concurrent requests; an arrival
+	// finding all slots busy is dropped client-side and counted (default
+	// 64). This keeps an overloaded server from accumulating unbounded
+	// generator goroutines.
+	MaxInFlight int
+	// Timeout is the per-request client timeout (default 30s). It also
+	// becomes the request's timeout_ms so server and client agree.
+	Timeout time.Duration
+	// Source is the SSSP/WSSSP source vertex.
+	Source int64
+	// Warmup sends one uncounted request per mix app before the timed
+	// window, so cache warm-up cost lands outside the measurement.
+	Warmup bool
+	// Logf receives progress lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// LoadReport is the result of one load-generation run — the
+// BENCH_serve.json schema.
+type LoadReport struct {
+	Graph      string     `json:"graph"`
+	Mix        []MixEntry `json:"mix"`
+	OfferedQPS float64    `json:"offered_qps"`
+	DurationMS float64    `json:"duration_ms"`
+
+	// Offered = Completed + Rejected + Failed + Dropped.
+	Offered   int `json:"offered"`
+	Completed int `json:"completed"`
+	// Rejected counts 429s — the server's admission control pushing back.
+	Rejected int `json:"rejected"`
+	// Failed counts non-429 errors (timeouts, 5xx, transport failures).
+	Failed int `json:"failed"`
+	// Dropped counts arrivals abandoned client-side at MaxInFlight.
+	Dropped int `json:"dropped"`
+
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// RejectRate is Rejected / Offered.
+	RejectRate float64 `json:"reject_rate"`
+
+	// Latency percentiles over completed jobs, milliseconds.
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP95MS  float64 `json:"latency_p95_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+	LatencyMaxMS  float64 `json:"latency_max_ms"`
+	LatencyMeanMS float64 `json:"latency_mean_ms"`
+
+	// PerApp breaks completions down by served program name.
+	PerApp map[string]int `json:"per_app"`
+
+	// Errors samples up to 5 distinct failure messages for diagnosis.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// RunLoad offers cfg.QPS requests/sec against a running serve instance
+// for cfg.Duration and reports the outcome. It is an open-loop
+// generator: arrivals are scheduled on a fixed clock regardless of
+// response times, which is what exposes queue-full behavior.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if len(cfg.Mix) == 0 {
+		return nil, fmt.Errorf("serve: load config has no request mix")
+	}
+	if cfg.QPS <= 0 {
+		cfg.QPS = 20
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	jobsURL := strings.TrimRight(cfg.BaseURL, "/") + "/v1/jobs"
+
+	if cfg.Warmup {
+		for _, m := range cfg.Mix {
+			status, _, _, err := postJob(ctx, client, jobsURL, &cfg, m.App)
+			if err != nil || status != http.StatusOK {
+				logf("loadgen: warm-up %s: status=%d err=%v", m.App, status, err)
+			}
+		}
+	}
+
+	cycle := mixSchedule(cfg.Mix)
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(cfg.Duration)
+	defer deadline.Stop()
+
+	type outcome struct {
+		app     string
+		status  int
+		latency time.Duration
+		errMsg  string
+	}
+	var (
+		mu        sync.Mutex
+		outcomes  []outcome
+		wg        sync.WaitGroup
+		inflight  = make(chan struct{}, cfg.MaxInFlight)
+		offered   int
+		dropped   int
+		nextInMix int
+	)
+	start := time.Now()
+
+offerLoop:
+	for {
+		select {
+		case <-ctx.Done():
+			break offerLoop
+		case <-deadline.C:
+			break offerLoop
+		case <-ticker.C:
+		}
+		app := cycle[nextInMix%len(cycle)]
+		nextInMix++
+		offered++
+		select {
+		case inflight <- struct{}{}:
+		default:
+			dropped++
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			began := time.Now()
+			status, _, errMsg, err := postJob(ctx, client, jobsURL, &cfg, app)
+			if err != nil {
+				errMsg = err.Error()
+			}
+			mu.Lock()
+			outcomes = append(outcomes, outcome{app: app, status: status, latency: time.Since(began), errMsg: errMsg})
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := &LoadReport{
+		Graph:      cfg.Graph,
+		Mix:        cfg.Mix,
+		OfferedQPS: cfg.QPS,
+		DurationMS: 1000 * elapsed.Seconds(),
+		Offered:    offered,
+		Dropped:    dropped,
+		PerApp:     make(map[string]int),
+	}
+	var latencies []time.Duration
+	var meanSum time.Duration
+	errSeen := make(map[string]bool)
+	for _, o := range outcomes {
+		switch {
+		case o.status == http.StatusOK:
+			report.Completed++
+			report.PerApp[o.app]++
+			latencies = append(latencies, o.latency)
+			meanSum += o.latency
+		case o.status == http.StatusTooManyRequests:
+			report.Rejected++
+		default:
+			report.Failed++
+			if o.errMsg != "" && !errSeen[o.errMsg] && len(report.Errors) < 5 {
+				errSeen[o.errMsg] = true
+				report.Errors = append(report.Errors, o.errMsg)
+			}
+		}
+	}
+	if elapsed > 0 {
+		report.JobsPerSec = float64(report.Completed) / elapsed.Seconds()
+	}
+	if report.Offered > 0 {
+		report.RejectRate = float64(report.Rejected) / float64(report.Offered)
+	}
+	if len(latencies) > 0 {
+		qs := harness.Quantiles(latencies, 0.5, 0.95, 0.99, 1.0)
+		report.LatencyP50MS = 1000 * qs[0].Seconds()
+		report.LatencyP95MS = 1000 * qs[1].Seconds()
+		report.LatencyP99MS = 1000 * qs[2].Seconds()
+		report.LatencyMaxMS = 1000 * qs[3].Seconds()
+		report.LatencyMeanMS = 1000 * (meanSum / time.Duration(len(latencies))).Seconds()
+	}
+	sort.Strings(report.Errors)
+	logf("loadgen: offered=%d completed=%d rejected=%d failed=%d dropped=%d (%.1f jobs/sec, p50 %.1fms, p99 %.1fms)",
+		report.Offered, report.Completed, report.Rejected, report.Failed, report.Dropped,
+		report.JobsPerSec, report.LatencyP50MS, report.LatencyP99MS)
+	return report, nil
+}
+
+// postJob sends one job request and returns (status, body, serverError,
+// transportError). A status of 0 means the request never got a response.
+func postJob(ctx context.Context, client *http.Client, url string, cfg *LoadConfig, app string) (int, []byte, string, error) {
+	jr := JobRequest{
+		Graph:     cfg.Graph,
+		App:       app,
+		Source:    cfg.Source,
+		TimeoutMS: int(cfg.Timeout / time.Millisecond),
+	}
+	payload, err := json.Marshal(&jr)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return resp.StatusCode, body, fmt.Sprintf("HTTP %d: %s", resp.StatusCode, e.Error), nil
+		}
+		return resp.StatusCode, body, fmt.Sprintf("HTTP %d", resp.StatusCode), nil
+	}
+	return resp.StatusCode, body, "", nil
+}

@@ -1,0 +1,113 @@
+// Tests for the load generator: mix parsing/scheduling determinism and a
+// short end-to-end run against a live Server.
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("cc:5, pr:3 ,sssp:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []MixEntry{{"cc", 5}, {"pr", 3}, {"sssp", 2}}
+	if !reflect.DeepEqual(mix, want) {
+		t.Fatalf("mix = %+v, want %+v", mix, want)
+	}
+	mix, err = ParseMix("cc") // bare app: weight 1
+	if err != nil || len(mix) != 1 || mix[0].Weight != 1 {
+		t.Fatalf("bare mix = %+v, %v", mix, err)
+	}
+	for _, bad := range []string{"", "cc:0", "cc:-1", "cc:x", ":3", ","} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestMixSchedule checks the weighted cycle interleaves apps instead of
+// emitting blocked runs, and that weights hold exactly per cycle.
+func TestMixSchedule(t *testing.T) {
+	cycle := mixSchedule([]MixEntry{{"cc", 2}, {"pr", 1}})
+	if len(cycle) != 3 {
+		t.Fatalf("cycle = %v, want length 3", cycle)
+	}
+	counts := map[string]int{}
+	for _, app := range cycle {
+		counts[app]++
+	}
+	if counts["cc"] != 2 || counts["pr"] != 1 {
+		t.Fatalf("cycle counts = %v", counts)
+	}
+	// 3:1:1 should not put the three cc's back to back.
+	cycle = mixSchedule([]MixEntry{{"a", 3}, {"b", 1}, {"c", 1}})
+	if len(cycle) != 5 {
+		t.Fatalf("cycle = %v", cycle)
+	}
+	for i := 1; i < len(cycle)-1; i++ {
+		if cycle[i-1] == "a" && cycle[i] == "a" && cycle[i+1] == "a" {
+			t.Fatalf("cycle %v has a blocked run of a's", cycle)
+		}
+	}
+}
+
+// TestRunLoadRoundTrip drives a real Server for a second and checks the
+// report accounting adds up with zero failures.
+func TestRunLoadRoundTrip(t *testing.T) {
+	cfg := Config{Graphs: []GraphSpec{testSpec(t, "g")}, Logf: t.Logf}
+	srv, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		ts.Close()
+	}()
+
+	mix, err := ParseMix("cc:2,sssp:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:  ts.URL,
+		Graph:    "g",
+		Mix:      mix,
+		QPS:      30,
+		Duration: 1200 * time.Millisecond,
+		Warmup:   true,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed == 0 {
+		t.Fatal("load run completed zero jobs")
+	}
+	if report.Failed != 0 {
+		t.Fatalf("failed = %d (%v)", report.Failed, report.Errors)
+	}
+	if got := report.Completed + report.Rejected + report.Failed + report.Dropped; got != report.Offered {
+		t.Fatalf("accounting: %d+%d+%d+%d != offered %d",
+			report.Completed, report.Rejected, report.Failed, report.Dropped, report.Offered)
+	}
+	if report.LatencyP50MS <= 0 || report.LatencyP99MS < report.LatencyP50MS || report.LatencyMaxMS < report.LatencyP99MS {
+		t.Fatalf("latency percentiles out of order: %+v", report)
+	}
+	if report.JobsPerSec <= 0 {
+		t.Fatalf("jobs/sec = %v", report.JobsPerSec)
+	}
+	// The weighted mix reached both apps (keyed by requested app name).
+	if report.PerApp["cc"] == 0 || report.PerApp["sssp"] == 0 {
+		t.Fatalf("per-app counts = %v, want both apps exercised", report.PerApp)
+	}
+}

@@ -1,0 +1,372 @@
+// Package serve is the production HTTP front end over the Session layer:
+// a long-running graph-query service that owns N prepared graphs (an
+// LRU-managed cache of ebv.Sessions with background warm-up and
+// drain-before-close eviction) and serves jobs through a bounded queue
+// with admission control — queue-full requests are rejected with 429 +
+// Retry-After instead of piling up, per-request deadlines propagate as
+// context through every superstep, and global plus per-graph concurrency
+// limits keep one hot graph from starving the rest. This is ROADMAP item
+// 4: the "millions of users" claim made falsifiable — the paper's
+// partition-once investment (175.6 ms full pipeline vs ~7 ms/job steady
+// state on the session bench) amortized over real HTTP traffic, with a
+// Prometheus /metrics endpoint and a load-generator-driven
+// BENCH_serve.json CI artifact tracking jobs/sec and latency
+// percentiles.
+//
+// Endpoints:
+//
+//	POST /v1/jobs    run one job (JobRequest → JobResponse)
+//	GET  /v1/graphs  list configured graphs and their cache state
+//	GET  /healthz    200 serving | 503 draining
+//	GET  /metrics    Prometheus text format
+//
+// Lifecycle: New → Handler (mount on any http.Server) → Drain (stop
+// admission) → Shutdown (wait for in-flight jobs with a deadline, then
+// close every session). cmd/ebv-serve wires SIGTERM to exactly that
+// sequence.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ebv"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Graphs are the servable graphs. At most MaxGraphs sessions are
+	// open at once; the rest are warmed on demand.
+	Graphs []GraphSpec
+	// MaxGraphs is the session-cache capacity (default 4).
+	MaxGraphs int
+	// QueueDepth bounds the admitted jobs — waiting plus running. A
+	// request arriving with the queue full is rejected with 429 (default
+	// 64).
+	QueueDepth int
+	// MaxConcurrent bounds the jobs executing at once across all graphs
+	// (default 8).
+	MaxConcurrent int
+	// MaxPerGraph bounds the jobs executing at once on one graph's
+	// session (default 4).
+	MaxPerGraph int
+	// JobTimeout is the per-job deadline cap: the default when a request
+	// names none, and the ceiling when it does (default 60s).
+	JobTimeout time.Duration
+	// Logf receives serve progress lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) queueDepth() int {
+	if c.QueueDepth < 1 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+func (c *Config) maxConcurrent() int {
+	if c.MaxConcurrent < 1 {
+		return 8
+	}
+	return c.MaxConcurrent
+}
+
+func (c *Config) jobTimeout() time.Duration {
+	if c.JobTimeout <= 0 {
+		return 60 * time.Second
+	}
+	return c.JobTimeout
+}
+
+// Server is the graph-query service. Construct with New, mount Handler,
+// and call Drain + Shutdown to stop.
+type Server struct {
+	ctx     context.Context // lifecycle: warm-ups, drains and evictors derive from it
+	cancel  context.CancelFunc
+	cfg     Config
+	cache   *sessionCache
+	metrics *serveMetrics
+
+	queue  chan struct{} // admitted-job slots (waiting + running)
+	global chan struct{} // run slots
+
+	draining atomic.Bool
+	jobs     sync.WaitGroup // one count per admitted job
+	logf     func(format string, args ...any)
+}
+
+// New builds a Server under ctx: canceling ctx hard-stops warm-ups and
+// in-flight sessions (Shutdown is the graceful path and cancels it
+// last).
+func New(ctx context.Context, cfg Config) (*Server, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	lifecycle, cancel := context.WithCancel(ctx)
+	metrics := newServeMetrics()
+	cache, err := newSessionCache(lifecycle, cfg.Graphs, cfg.MaxGraphs, cfg.MaxPerGraph, metrics)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s := &Server{
+		ctx:     lifecycle,
+		cancel:  cancel,
+		cfg:     cfg,
+		cache:   cache,
+		metrics: metrics,
+		queue:   make(chan struct{}, cfg.queueDepth()),
+		global:  make(chan struct{}, cfg.maxConcurrent()),
+		logf:    cfg.Logf,
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	metrics.registry.NewGaugeFunc("ebv_serve_graphs_open",
+		"Graph sessions currently open or warming in the cache.",
+		func() float64 { return float64(cache.open()) })
+	return s, nil
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain stops admission: /healthz turns 503 (load balancers stop routing
+// here) and new job requests are rejected; admitted jobs keep running.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether admission is stopped.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown gracefully stops the server: admission stops, admitted jobs
+// drain (bounded by ctx — the caller's drain deadline), then every
+// session closes. Jobs still running past the deadline lose their
+// sessions and fail with ErrSessionClosed. Idempotent enough for one
+// caller; not safe for concurrent Shutdowns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.Drain()
+	done := make(chan struct{})
+	go func() { s.jobs.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.logf("serve: drain deadline expired with %d jobs still admitted; closing sessions", s.metrics.queued.Load()+s.metrics.inflight.Load())
+	}
+	err := s.cache.closeAll(ctx)
+	s.cancel()
+	// Give straggler jobs released by the session teardown a moment to
+	// leave the accounting consistent for the caller.
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	return err
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterSeconds estimates how long a rejected client should back
+// off: the queue's worth of work at the current p50 latency, spread over
+// the run slots — clamped to [1s, 30s].
+func (s *Server) retryAfterSeconds() int {
+	p50 := s.metrics.latency.Quantile(0.5)
+	if p50 <= 0 {
+		return 1
+	}
+	est := p50 * float64(cap(s.queue)) / float64(cap(s.global))
+	secs := int(est + 0.999)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
+}
+
+// handleJob is POST /v1/jobs: decode → validate → admit → wait for the
+// graph session and a run slot → execute with the request deadline →
+// respond.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.rejected.Inc("draining")
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	prog, err := req.program()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !s.cache.hasGraph(req.Graph) {
+		// Checked before admission so a typo'd graph name never consumes
+		// a queue slot.
+		httpError(w, http.StatusNotFound, "%v %q", ErrUnknownGraph, req.Graph)
+		return
+	}
+
+	// Admission: one queue slot per admitted job, held to completion.
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.metrics.rejected.Inc("queue_full")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		httpError(w, http.StatusTooManyRequests, "job queue full (%d admitted)", cap(s.queue))
+		return
+	}
+	s.metrics.admitted.Inc()
+	s.metrics.queued.Add(1)
+	s.jobs.Add(1)
+	admitted := time.Now()
+	defer func() {
+		<-s.queue
+		s.jobs.Done()
+	}()
+
+	// The per-request deadline: the client's timeout_ms, capped by the
+	// server's JobTimeout; it covers warm-up wait, run-slot wait and
+	// every superstep (the ctx reaches the engine's exchange loops).
+	timeout := s.cfg.jobTimeout()
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Resolve the graph session (may wait on a background warm-up).
+	handle, err := s.cache.acquire(ctx, req.Graph)
+	if err != nil {
+		s.metrics.queued.Add(-1)
+		s.jobFailed(w, &req, err)
+		return
+	}
+	defer handle.release()
+
+	// A run slot, global then per-graph.
+	if err := acquireSlot(ctx, s.global); err != nil {
+		s.metrics.queued.Add(-1)
+		s.jobFailed(w, &req, err)
+		return
+	}
+	defer func() { <-s.global }()
+	if err := acquireSlot(ctx, handle.entry.sem); err != nil {
+		s.metrics.queued.Add(-1)
+		s.jobFailed(w, &req, err)
+		return
+	}
+	defer func() { <-handle.entry.sem }()
+
+	s.metrics.queued.Add(-1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	queueWait := time.Since(admitted)
+	s.metrics.queueWait.ObserveDuration(queueWait)
+
+	jr, err := handle.session.Run(ctx, prog, req.runOptions()...)
+	if err != nil {
+		s.jobFailed(w, &req, err)
+		return
+	}
+	total := time.Since(admitted)
+	s.metrics.completed.Inc(jr.Program)
+	s.metrics.latency.ObserveDuration(total)
+	s.metrics.messages.Add("emitted", jr.Counts.Emitted)
+	s.metrics.messages.Add("wire", jr.Counts.Wire)
+	s.metrics.messages.Add("delivered", jr.Counts.Delivered)
+	writeJSON(w, buildResponse(&req, jr, 1000*queueWait.Seconds(), 1000*total.Seconds()))
+}
+
+// acquireSlot takes one slot or gives up with the context.
+func acquireSlot(ctx context.Context, sem chan struct{}) error {
+	select {
+	case sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// jobFailed maps an admitted job's failure to a status code and records
+// it.
+func (s *Server) jobFailed(w http.ResponseWriter, req *JobRequest, err error) {
+	status, reason := http.StatusInternalServerError, "error"
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status, reason = http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, context.Canceled):
+		// The client went away (or the handler unwound); the response
+		// likely lands nowhere, but account for it either way.
+		status, reason = 499, "canceled"
+	case errors.Is(err, ebv.ErrSessionClosed), errors.Is(err, errCacheClosed):
+		status, reason = http.StatusServiceUnavailable, "closed"
+	case errors.Is(err, ErrUnknownGraph):
+		status, reason = http.StatusNotFound, "unknown_graph"
+	}
+	s.metrics.failed.Inc(reason)
+	s.logf("serve: job %s/%s failed (%s): %v", req.Graph, req.App, reason, err)
+	httpError(w, status, "%v", err)
+}
+
+// graphsResponse is the GET /v1/graphs body.
+type graphsResponse struct {
+	Graphs []graphState `json:"graphs"`
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	includeStats := r.URL.Query().Get("stats") == "1"
+	writeJSON(w, graphsResponse{Graphs: s.cache.states(includeStats)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := s.metrics.registry.WriteTo(w); err != nil {
+		s.logf("serve: metrics write: %v", err)
+	}
+}

@@ -51,29 +51,43 @@ type Session struct {
 	emitMu  sync.Mutex // serializes progress callbacks across concurrent jobs
 }
 
-// JobResult is the outcome of one Session.Run job.
+// JobResult is the outcome of one Session.Run job. The tagged fields form
+// a stable JSON surface (internal/serve returns them in job responses
+// without reaching into internal/bsp); BSP carries the full execution
+// result — value matrix, per-worker stats — and is deliberately excluded
+// from the JSON form.
 type JobResult struct {
 	// Job is the session-scoped job number (1-based, in start order).
-	Job int
+	Job int `json:"job"`
 	// Program is the executed program's name.
-	Program string
+	Program string `json:"program"`
 	// ValueWidth is the width the job ran at.
-	ValueWidth int
+	ValueWidth int `json:"value_width"`
+	// Steps is the number of supersteps the job executed.
+	Steps int `json:"steps"`
+	// Counts is the job's message accounting at the three combiner
+	// measurement points (emitted ≥ wire ≥ delivered).
+	Counts MessageCounts `json:"message_counts"`
 	// BSP is the execution result (values, steps, per-worker stats).
-	BSP *RunResult
+	BSP *RunResult `json:"-"`
 	// RunTime is the job's wall-clock time inside the session (execution
-	// only — load/partition/build were paid once by Open).
-	RunTime time.Duration
+	// only — load/partition/build were paid once by Open). Marshals as
+	// nanoseconds.
+	RunTime time.Duration `json:"run_time"`
 }
 
 // JobStats is the per-job accounting a Session keeps (see SessionStats).
+// JSON tags are stable lowercase; durations marshal as nanoseconds.
 type JobStats struct {
-	Job        int
-	Program    string
-	ValueWidth int
-	Steps      int
-	Messages   int64
-	RunTime    time.Duration
+	Job        int    `json:"job"`
+	Program    string `json:"program"`
+	ValueWidth int    `json:"value_width"`
+	Steps      int    `json:"steps"`
+	// Messages counts the rows that crossed the exchange (the wire count,
+	// Result.TotalMessages); Counts breaks out pre/post-combine totals.
+	Messages int64         `json:"messages"`
+	Counts   MessageCounts `json:"message_counts"`
+	RunTime  time.Duration `json:"run_time"`
 }
 
 // SessionStats is a snapshot of a Session's accounting: the one-time
@@ -81,17 +95,19 @@ type JobStats struct {
 // amortization story (first job vs steady state) can be read directly.
 type SessionStats struct {
 	// JobsServed counts successfully completed jobs.
-	JobsServed int
+	JobsServed int `json:"jobs_served"`
 	// LoadTime, PartitionTime and BuildTime are the one-time preparation
-	// stage costs paid by Open.
-	LoadTime, PartitionTime, BuildTime time.Duration
+	// stage costs paid by Open (JSON: nanoseconds, stable lowercase tags).
+	LoadTime      time.Duration `json:"load_time"`
+	PartitionTime time.Duration `json:"partition_time"`
+	BuildTime     time.Duration `json:"build_time"`
 	// PrepareTime is their sum — the cost every job would re-pay without
 	// the session.
-	PrepareTime time.Duration
+	PrepareTime time.Duration `json:"prepare_time"`
 	// TotalRunTime sums the served jobs' wall-clock times.
-	TotalRunTime time.Duration
+	TotalRunTime time.Duration `json:"total_run_time"`
 	// Jobs lists the served jobs in completion order.
-	Jobs []JobStats
+	Jobs []JobStats `json:"jobs"`
 }
 
 // FirstRunTime returns the first served job's wall time (cold caches,
@@ -229,6 +245,8 @@ func (s *Session) Run(ctx context.Context, prog Program, opts ...RunOption) (*Jo
 		Job:        id,
 		Program:    prog.Name(),
 		ValueWidth: out.Values.Width,
+		Steps:      out.Steps,
+		Counts:     out.MessageCounts(),
 		BSP:        out,
 		RunTime:    took,
 	}
@@ -239,6 +257,7 @@ func (s *Session) Run(ctx context.Context, prog Program, opts ...RunOption) (*Jo
 		ValueWidth: jr.ValueWidth,
 		Steps:      out.Steps,
 		Messages:   out.TotalMessages(),
+		Counts:     jr.Counts,
 		RunTime:    took,
 	})
 	s.mu.Unlock()

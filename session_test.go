@@ -6,6 +6,7 @@ package ebv_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -377,4 +378,163 @@ func TestSessionCombinedJobsTCPLeakNoGoroutines(t *testing.T) {
 	}
 	t.Fatalf("goroutines grew from %d to %d after combined TCP session cycles",
 		before, runtime.NumGoroutine())
+}
+
+// TestSessionStatsConcurrentSnapshot hammers Run and Stats concurrently
+// and requires every snapshot to be internally consistent: JobsServed
+// always equals len(Jobs), TotalRunTime always equals the sum of the
+// snapshot's own job rows, and job numbers never repeat. Run under -race
+// this is also the data-race audit of the session's accounting mutex.
+func TestSessionStatsConcurrentSnapshot(t *testing.T) {
+	s, err := sessionPipeline(t).Open(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const runners = 4
+	const jobsPerRunner = 6
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := range runners {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobsPerRunner {
+				prog := ebv.Program(&ebv.CC{})
+				if r%2 == 1 {
+					prog = &ebv.PageRank{Iterations: 3}
+				}
+				if _, err := s.Run(context.Background(), prog); err != nil {
+					t.Errorf("run: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Snapshot readers race the runners until all jobs finish.
+	var snapErrs []string
+	var snapMu sync.Mutex
+	for range 2 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := s.Stats()
+				var sum time.Duration
+				seen := make(map[int]bool, len(st.Jobs))
+				for _, j := range st.Jobs {
+					sum += j.RunTime
+					if seen[j.Job] {
+						snapMu.Lock()
+						snapErrs = append(snapErrs, fmt.Sprintf("job %d appears twice", j.Job))
+						snapMu.Unlock()
+					}
+					seen[j.Job] = true
+				}
+				if st.JobsServed != len(st.Jobs) || st.TotalRunTime != sum {
+					snapMu.Lock()
+					snapErrs = append(snapErrs, fmt.Sprintf(
+						"torn snapshot: served %d, rows %d, total %v, row sum %v",
+						st.JobsServed, len(st.Jobs), st.TotalRunTime, sum))
+					snapMu.Unlock()
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	go func() {
+		// Runners share wg with the readers; stop the readers once job
+		// count says the runners are finished.
+		for {
+			if s.Stats().JobsServed == runners*jobsPerRunner {
+				close(stop)
+				return
+			}
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+	<-done
+	for _, e := range snapErrs {
+		t.Error(e)
+	}
+	st := s.Stats()
+	if st.JobsServed != runners*jobsPerRunner {
+		t.Fatalf("served %d jobs, want %d", st.JobsServed, runners*jobsPerRunner)
+	}
+}
+
+// TestSessionStatsJSONSurface locks the stable lowercase JSON tags the
+// serving layer (and any external dashboard) depends on — a rename here
+// is an API break, not a refactor.
+func TestSessionStatsJSONSurface(t *testing.T) {
+	s, err := sessionPipeline(t).Open(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	jr, err := s.Run(context.Background(), &ebv.CC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var jrMap map[string]any
+	payload, err := json.Marshal(jr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(payload, &jrMap); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"job", "program", "value_width", "steps", "message_counts", "run_time"} {
+		if _, ok := jrMap[key]; !ok {
+			t.Errorf("JobResult JSON missing %q (got %s)", key, payload)
+		}
+	}
+	if _, ok := jrMap["BSP"]; ok {
+		t.Error("JobResult JSON leaks the BSP execution result")
+	}
+	counts, ok := jrMap["message_counts"].(map[string]any)
+	if !ok {
+		t.Fatalf("message_counts = %T", jrMap["message_counts"])
+	}
+	for _, key := range []string{"emitted", "wire", "delivered"} {
+		if _, ok := counts[key]; !ok {
+			t.Errorf("MessageCounts JSON missing %q", key)
+		}
+	}
+
+	var stMap map[string]any
+	payload, err = json.Marshal(s.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(payload, &stMap); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"jobs_served", "load_time", "partition_time", "build_time", "prepare_time", "total_run_time", "jobs"} {
+		if _, ok := stMap[key]; !ok {
+			t.Errorf("SessionStats JSON missing %q (got %s)", key, payload)
+		}
+	}
+	jobs := stMap["jobs"].([]any)
+	if len(jobs) != 1 {
+		t.Fatalf("jobs = %v", stMap["jobs"])
+	}
+	row := jobs[0].(map[string]any)
+	for _, key := range []string{"job", "program", "value_width", "steps", "messages", "message_counts", "run_time"} {
+		if _, ok := row[key]; !ok {
+			t.Errorf("JobStats JSON missing %q", key)
+		}
+	}
 }
