@@ -1,0 +1,445 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"ebv"
+	"ebv/internal/bsp"
+	"ebv/internal/live"
+)
+
+// liveArgs parameterizes -live mode.
+type liveArgs struct {
+	vertices  int
+	edges     int // initial edge count E0
+	mutations int // total stream length (80% inserts, 20% deletes)
+	batch     int
+	k         int
+	policy    string
+	tcp       bool
+	verify    bool
+	seed      uint64
+	out       string
+}
+
+// liveReport is the BENCH_live.json artifact: measured patch latency,
+// patch-vs-rebuild breakdown, RF drift and the warm-start speedups, plus
+// the byte-identity verdicts the CI smoke step asserts on.
+type liveReport struct {
+	Transport    string `json:"transport"` // mem | tcp
+	Policy       string `json:"policy"`
+	Vertices     int    `json:"vertices"`
+	InitialEdges int    `json:"initial_edges"`
+	FinalEdges   int    `json:"final_edges"`
+	Subgraphs    int    `json:"subgraphs"`
+	Inserts      int    `json:"inserts"`
+	Deletes      int    `json:"deletes"`
+	Batches      int    `json:"batches"`
+	BatchSize    int    `json:"batch_size"`
+	FinalEpoch   uint64 `json:"final_epoch"`
+
+	// Patch-vs-rebuild accounting (from LiveStats).
+	PatchBatches   int64 `json:"patch_batches"`
+	RebuildBatches int64 `json:"rebuild_batches"`
+	PartsRebuilt   int64 `json:"parts_rebuilt"`
+	PartsPatched   int64 `json:"parts_patched"`
+	PartsReused    int64 `json:"parts_reused"`
+
+	// Per-batch Apply wall latency down the incremental-patch path vs
+	// the same stream replayed down the full-rebuild fallback path —
+	// the apples-to-apples incremental-patch payoff (both sides pay the
+	// identical validate/assign/compact work; only the subgraph-build
+	// stage differs). FullBuildMS is a from-scratch subgraph build of
+	// the final graph (mean of 5) for scale.
+	MeanApplyMS        float64 `json:"mean_apply_ms"`
+	P95ApplyMS         float64 `json:"p95_apply_ms"`
+	MaxApplyMS         float64 `json:"max_apply_ms"`
+	RebuildMeanApplyMS float64 `json:"rebuild_mean_apply_ms"`
+	FullBuildMS        float64 `json:"full_build_ms"`
+	PatchSpeedup       float64 `json:"patch_speedup"` // rebuild_mean_apply_ms / mean_apply_ms
+
+	// RF drift after the full stream.
+	RF         float64 `json:"replication_factor"`
+	BaselineRF float64 `json:"baseline_rf"`
+	RFDrift    float64 `json:"rf_drift"`
+
+	// Warm-start payoff: delta-PageRank to the same fixed point, cold vs
+	// warm-seeded from a pre-stream run; incremental CC cold vs warm
+	// (insert-only phase, byte-identical required).
+	ColdPRSteps       int     `json:"cold_pr_steps"`
+	WarmPRSteps       int     `json:"warm_pr_steps"`
+	ColdPRMS          float64 `json:"cold_pr_ms"`
+	WarmPRMS          float64 `json:"warm_pr_ms"`
+	WarmPRSpeedup     float64 `json:"warm_pr_speedup"` // cold_pr_ms / warm_pr_ms
+	PRFixedPointDelta float64 `json:"pr_fixed_point_delta"`
+	ColdCCSteps       int     `json:"cold_cc_steps"`
+	WarmCCSteps       int     `json:"warm_cc_steps"`
+	WarmCCSame        bool    `json:"warm_cc_identical"`
+
+	// Byte-identity of the streamed session vs a session freshly built
+	// from the final graph + assignment — the headline live-graph claim.
+	CCIdentical     bool `json:"cc_identical"`
+	PRIdentical     bool `json:"pr_identical"`
+	VerifiedPatches bool `json:"verified_patches"` // every patch cross-checked against a rebuild
+}
+
+// liveBench streams mutation batches into an open session, interleaved
+// with CC/PR jobs, and asserts the streamed session computes results
+// byte-identical to a session freshly built from the final graph. It
+// exits non-zero on any identity mismatch or when the warm delta-PR run
+// needs more supersteps than the cold one — the CI live-smoke contract.
+func liveBench(ctx context.Context, args liveArgs) error {
+	if args.batch < 1 {
+		return errors.New("-live-batch must be >= 1")
+	}
+	inserts := args.mutations * 4 / 5
+	deletes := args.mutations - inserts
+	full, err := ebv.PowerLaw(ebv.PowerLawConfig{
+		NumVertices: args.vertices, NumEdges: args.edges + inserts,
+		Eta: 2.2, Directed: true, Seed: args.seed,
+	})
+	if err != nil {
+		return err
+	}
+	all := full.Edges()
+	e0 := len(all) - inserts
+	if e0 < 2*deletes {
+		return fmt.Errorf("-live: initial graph too small (%d edges) for %d deletes", e0, deletes)
+	}
+	initial, err := ebv.NewGraph(args.vertices, all[:e0])
+	if err != nil {
+		return err
+	}
+
+	// The stream: the held-out edges as inserts, then deletes of evenly
+	// spread initial edges (a distinct edge index per delete).
+	stream := make([]ebv.Mutation, 0, inserts+deletes)
+	for _, e := range all[e0:] {
+		stream = append(stream, ebv.Mutation{Op: ebv.OpInsert, Src: e.Src, Dst: e.Dst})
+	}
+	stride := e0 / deletes
+	for i := 0; i < deletes; i++ {
+		e := all[i*stride]
+		stream = append(stream, ebv.Mutation{Op: ebv.OpDelete, Src: e.Src, Dst: e.Dst})
+	}
+
+	opts := []ebv.PipelineOption{
+		ebv.FromGraph(initial),
+		ebv.UsePartitioner(ebv.NewEBV()),
+		ebv.Subgraphs(args.k),
+		ebv.MutationPolicy(args.policy),
+	}
+	transportName := "mem"
+	if args.tcp {
+		opts = append(opts, ebv.UseTCPLoopback())
+		transportName = "tcp"
+	}
+	if args.verify {
+		opts = append(opts, ebv.VerifyMutations())
+	}
+	session, err := ebv.NewPipeline(opts...).Open(ctx)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+	// The prepared (epoch-0) artifacts, for the rebuild-path replay below.
+	initialG, initialAssign, _ := session.LiveSnapshot()
+	fmt.Fprintf(os.Stderr, "ebv-bench: live %s: %d vertices, %d initial edges, k=%d, policy=%s, %d inserts + %d deletes in batches of %d\n",
+		transportName, args.vertices, e0, args.k, args.policy, inserts, deletes, args.batch)
+
+	report := &liveReport{
+		Transport: transportName, Policy: args.policy,
+		Vertices: args.vertices, InitialEdges: e0, Subgraphs: args.k,
+		Inserts: inserts, Deletes: deletes, BatchSize: args.batch,
+		VerifiedPatches: args.verify,
+	}
+
+	// Pre-stream seeds for the warm starts.
+	ccPrev, err := session.Run(ctx, &ebv.CC{})
+	if err != nil {
+		return fmt.Errorf("initial CC: %w", err)
+	}
+	prPrev, err := session.Run(ctx, &ebv.DeltaPageRank{})
+	if err != nil {
+		return fmt.Errorf("initial PR-delta: %w", err)
+	}
+
+	// Stream the batches, a CC or PR job interleaved every few batches so
+	// queries and mutations genuinely overlap the way they would in serve.
+	var applyMS []float64
+	jobEvery := 4
+	applyBatches := func(muts []ebv.Mutation) error {
+		for off := 0; off < len(muts); off += args.batch {
+			end := off + args.batch
+			if end > len(muts) {
+				end = len(muts)
+			}
+			start := time.Now()
+			if _, err := session.Apply(ctx, muts[off:end]); err != nil {
+				return fmt.Errorf("apply batch at offset %d: %w", off, err)
+			}
+			applyMS = append(applyMS, 1000*time.Since(start).Seconds())
+			report.Batches++
+			if report.Batches%jobEvery == 0 {
+				prog := ebv.Program(&ebv.CC{})
+				if report.Batches%(2*jobEvery) == 0 {
+					prog = &ebv.PageRank{Iterations: 3}
+				}
+				if _, err := session.Run(ctx, prog); err != nil {
+					return fmt.Errorf("interleaved %s job: %w", prog.Name(), err)
+				}
+			}
+		}
+		return nil
+	}
+
+	// Phase A: inserts only. At its end the warm-CC claim is testable
+	// (warm seeds are valid lower bounds only while edges are only added).
+	if err := applyBatches(stream[:inserts]); err != nil {
+		return err
+	}
+	ccCold, err := session.Run(ctx, &ebv.CC{})
+	if err != nil {
+		return fmt.Errorf("post-insert cold CC: %w", err)
+	}
+	ccWarm, err := session.Run(ctx, ebv.NewDeltaCC(ccPrev.BSP))
+	if err != nil {
+		return fmt.Errorf("post-insert warm CC: %w", err)
+	}
+	report.ColdCCSteps = ccCold.Steps
+	report.WarmCCSteps = ccWarm.Steps
+	report.WarmCCSame = sameValues(ccCold.BSP.Values, ccWarm.BSP.Values) && sameCovered(ccCold.BSP.Covered, ccWarm.BSP.Covered)
+
+	// Refresh the PR seed here: it stays a useful warm start across the
+	// delete phase (a seed, not a bound — deletes don't invalidate it).
+	prPrev, err = session.Run(ctx, &ebv.DeltaPageRank{})
+	if err != nil {
+		return fmt.Errorf("pre-delete PR-delta: %w", err)
+	}
+
+	// Phase B: deletes.
+	if err := applyBatches(stream[inserts:]); err != nil {
+		return err
+	}
+
+	// Warm-start payoff on the final graph: cold vs warm delta-PR, same
+	// fixed point.
+	prStart := time.Now()
+	prCold, err := session.Run(ctx, &ebv.DeltaPageRank{})
+	if err != nil {
+		return fmt.Errorf("final cold PR-delta: %w", err)
+	}
+	report.ColdPRMS = 1000 * time.Since(prStart).Seconds()
+	prStart = time.Now()
+	prWarm, err := session.Run(ctx, &ebv.DeltaPageRank{Prev: prPrev.BSP.Values, PrevCovered: prPrev.BSP.Covered})
+	if err != nil {
+		return fmt.Errorf("final warm PR-delta: %w", err)
+	}
+	report.WarmPRMS = 1000 * time.Since(prStart).Seconds()
+	report.ColdPRSteps = prCold.Steps
+	report.WarmPRSteps = prWarm.Steps
+	if report.WarmPRMS > 0 {
+		report.WarmPRSpeedup = report.ColdPRMS / report.WarmPRMS
+	}
+	report.PRFixedPointDelta = maxAbsDiff(prCold.BSP.Values, prWarm.BSP.Values, prCold.BSP.Covered)
+
+	// The headline identity: the streamed session vs a session freshly
+	// built from the final graph under the final (streamed) assignment.
+	finalG, assignment, epoch := session.LiveSnapshot()
+	report.FinalEdges = finalG.NumEdges()
+	report.FinalEpoch = epoch
+
+	const buildReps = 5
+	buildStart := time.Now()
+	for rep := 0; rep < buildReps; rep++ {
+		if _, err := ebv.BuildSubgraphsParallel(finalG, assignment, 0); err != nil {
+			return fmt.Errorf("timed full rebuild: %w", err)
+		}
+	}
+	report.FullBuildMS = 1000 * time.Since(buildStart).Seconds() / buildReps
+
+	// Replay the identical stream down the full-rebuild fallback path
+	// (same policy, same batching, no patching) against a second state
+	// attached to the epoch-0 build: the control arm of the patch
+	// measurement. Its final assignment must match the streamed
+	// session's exactly — the two paths are interchangeable.
+	rebuildMS, err := replayFullRebuild(ctx, args, initialG, initialAssign, stream, inserts, assignment)
+	if err != nil {
+		return err
+	}
+	report.RebuildMeanApplyMS = rebuildMS
+
+	fresh, err := ebv.NewPipeline(ebv.FromGraph(finalG), ebv.UseAssignment(assignment)).Open(ctx)
+	if err != nil {
+		return fmt.Errorf("open fresh session: %w", err)
+	}
+	defer fresh.Close()
+	for _, check := range []struct {
+		prog ebv.Program
+		dest *bool
+	}{
+		{&ebv.CC{}, &report.CCIdentical},
+		{&ebv.PageRank{Iterations: 10}, &report.PRIdentical},
+	} {
+		streamed, err := session.Run(ctx, check.prog)
+		if err != nil {
+			return fmt.Errorf("final %s on streamed session: %w", check.prog.Name(), err)
+		}
+		rebuilt, err := fresh.Run(ctx, check.prog)
+		if err != nil {
+			return fmt.Errorf("final %s on fresh session: %w", check.prog.Name(), err)
+		}
+		*check.dest = sameValues(streamed.BSP.Values, rebuilt.BSP.Values) && sameCovered(streamed.BSP.Covered, rebuilt.BSP.Covered)
+	}
+
+	stats := session.LiveStats()
+	report.PatchBatches = stats.Batches - stats.FullRebuilds
+	report.RebuildBatches = stats.FullRebuilds
+	report.PartsRebuilt = stats.PartsRebuilt
+	report.PartsPatched = stats.PartsPatched
+	report.PartsReused = stats.PartsReused
+	report.RF = stats.RF
+	report.BaselineRF = stats.BaselineRF
+	report.RFDrift = stats.Drift
+
+	sort.Float64s(applyMS)
+	for _, ms := range applyMS {
+		report.MeanApplyMS += ms
+	}
+	if len(applyMS) > 0 {
+		report.MeanApplyMS /= float64(len(applyMS))
+		report.P95ApplyMS = applyMS[len(applyMS)*95/100]
+		report.MaxApplyMS = applyMS[len(applyMS)-1]
+	}
+	if report.MeanApplyMS > 0 {
+		report.PatchSpeedup = report.RebuildMeanApplyMS / report.MeanApplyMS
+	}
+
+	if err := writeReport(args.out, report); err != nil {
+		return err
+	}
+
+	switch {
+	case report.Batches == 0:
+		return errors.New("live run applied zero batches")
+	case !report.CCIdentical:
+		return errors.New("live run diverged: CC on the streamed session != CC on a freshly built session")
+	case !report.PRIdentical:
+		return errors.New("live run diverged: PageRank on the streamed session != PageRank on a freshly built session")
+	case !report.WarmCCSame:
+		return errors.New("warm incremental CC diverged from the cold run after the insert phase")
+	case report.WarmPRSteps > report.ColdPRSteps:
+		return fmt.Errorf("warm delta-PR took %d supersteps, cold only %d — warm start regressed",
+			report.WarmPRSteps, report.ColdPRSteps)
+	case report.PRFixedPointDelta > 1e-6:
+		return fmt.Errorf("warm and cold delta-PR fixed points differ by %g (> 1e-6)", report.PRFixedPointDelta)
+	}
+	fmt.Fprintf(os.Stderr, "ebv-bench: live %s ok: %d batches (patch mean %.2f ms, rebuild-path mean %.2f ms, %.2fx; full build %.2f ms), warm PR %d vs cold %d steps, epoch %d\n",
+		transportName, report.Batches, report.MeanApplyMS, report.RebuildMeanApplyMS, report.PatchSpeedup,
+		report.FullBuildMS, report.WarmPRSteps, report.ColdPRSteps, report.FinalEpoch)
+	return nil
+}
+
+// replayFullRebuild applies the same mutation stream, batched the same
+// way, through a live.State forced onto the full-rebuild path, and
+// returns the mean per-batch apply latency in milliseconds. It fails if
+// the rebuild path lands on a different assignment than the patch path —
+// that equivalence is what makes the latency comparison meaningful.
+func replayFullRebuild(ctx context.Context, args liveArgs, g0 *ebv.Graph, a0 *ebv.Assignment,
+	stream []ebv.Mutation, inserts int, wantAssign *ebv.Assignment) (float64, error) {
+	policy, err := live.PolicyByName(args.policy)
+	if err != nil {
+		return 0, err
+	}
+	subs, err := bsp.BuildSubgraphsParallel(g0, a0, 0)
+	if err != nil {
+		return 0, fmt.Errorf("rebuild replay: build epoch-0 subgraphs: %w", err)
+	}
+	st, err := live.NewState(g0, a0, subs, live.Config{Policy: policy, ForceRebuild: true})
+	if err != nil {
+		return 0, fmt.Errorf("rebuild replay: %w", err)
+	}
+	var epoch uint64
+	swap := func([]*bsp.Subgraph) (uint64, error) { epoch++; return epoch, nil }
+	var totalMS float64
+	batches := 0
+	// Batch each phase separately, exactly as the streamed run did —
+	// insert assignment is view-dependent, so batch boundaries are part
+	// of the replayed input.
+	for _, phase := range [][]ebv.Mutation{stream[:inserts], stream[inserts:]} {
+		for off := 0; off < len(phase); off += args.batch {
+			end := off + args.batch
+			if end > len(phase) {
+				end = len(phase)
+			}
+			start := time.Now()
+			if _, err := st.Apply(ctx, phase[off:end], swap); err != nil {
+				return 0, fmt.Errorf("rebuild replay: batch at offset %d: %w", off, err)
+			}
+			totalMS += 1000 * time.Since(start).Seconds()
+			batches++
+		}
+	}
+	_, gotAssign, _ := st.Snapshot()
+	if len(gotAssign.Parts) != len(wantAssign.Parts) {
+		return 0, fmt.Errorf("rebuild replay: %d assigned edges, patch path has %d",
+			len(gotAssign.Parts), len(wantAssign.Parts))
+	}
+	for i := range gotAssign.Parts {
+		if gotAssign.Parts[i] != wantAssign.Parts[i] {
+			return 0, fmt.Errorf("rebuild replay diverged from the patch path at edge %d", i)
+		}
+	}
+	if batches == 0 {
+		return 0, nil
+	}
+	return totalMS / float64(batches), nil
+}
+
+// sameValues reports bit-exact equality of two value matrices.
+func sameValues(a, b *ebv.ValueMatrix) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Width != b.Width || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameCovered(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxAbsDiff is the largest |a−b| over rows both runs covered.
+func maxAbsDiff(a, b *ebv.ValueMatrix, covered []bool) float64 {
+	max := 0.0
+	for i := 0; i < a.Rows() && i < b.Rows(); i++ {
+		if i < len(covered) && !covered[i] {
+			continue
+		}
+		if d := math.Abs(a.Scalar(i) - b.Scalar(i)); d > max {
+			max = d
+		}
+	}
+	return max
+}

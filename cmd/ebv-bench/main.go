@@ -15,6 +15,14 @@
 //
 //	ebv-bench -serve http://127.0.0.1:8080 -serve-graph social \
 //	    -qps 40 -duration 10s -mix cc:5,pr:3,sssp:2 -out BENCH_serve.json
+//
+// With -live it streams edge mutations into an open session (inserts
+// assigned online, affected subgraphs patched incrementally), interleaved
+// with CC/PR jobs, asserts the streamed session computes byte-identical
+// results to a freshly built one, and writes a BENCH_live.json report
+// (patch latency vs full rebuild, warm-start speedup, RF drift):
+//
+//	ebv-bench -live -live-mutations 10000 -live-verify -out BENCH_live.json
 package main
 
 import (
@@ -61,18 +69,40 @@ func run(ctx context.Context) error {
 		par      = flag.Int("parallelism", 0, "CPUs for the subgraph-build passes (0 = GOMAXPROCS)")
 		combine  = flag.String("combine", "off", "message combining in the BSP runs: off (paper-faithful counts) | auto (each app's natural combiner)")
 
+		liveMode      = flag.Bool("live", false, "run the live-graph mutation bench instead of experiments (writes -out)")
+		liveVertices  = flag.Int("live-vertices", 20000, "live mode: vertex count")
+		liveEdges     = flag.Int("live-edges", 120000, "live mode: initial edge count (held-out edges become inserts)")
+		liveMutations = flag.Int("live-mutations", 10000, "live mode: total mutation stream length (80% inserts, 20% deletes)")
+		liveBatch     = flag.Int("live-batch", 500, "live mode: mutations per Apply batch")
+		liveK         = flag.Int("live-k", 8, "live mode: subgraph count")
+		livePolicy    = flag.String("live-policy", "ebv", "live mode: streaming assignment policy (ebv | hdrf | fennel)")
+		liveTCP       = flag.Bool("live-tcp", false, "live mode: run jobs over the TCP loopback mesh")
+		liveVerify    = flag.Bool("live-verify", false, "live mode: cross-check every incremental patch against a full rebuild")
+
 		serveURL     = flag.String("serve", "", "load-test a running ebv-serve at this base URL instead of running experiments")
 		serveGraph   = flag.String("serve-graph", "", "graph name to target in -serve mode")
 		qps          = flag.Float64("qps", 20, "offered request rate in -serve mode")
 		duration     = flag.Duration("duration", 10*time.Second, "load duration in -serve mode")
 		mixSpec      = flag.String("mix", "cc:5,pr:3,sssp:2", "weighted app mix in -serve mode, e.g. cc:5,pr:3,sssp:2")
-		out          = flag.String("out", "BENCH_serve.json", "report path in -serve mode ('-' for stdout)")
+		out          = flag.String("out", "BENCH_serve.json", "report path in -serve/-live mode ('-' for stdout; -live defaults to BENCH_live.json)")
 		serveTimeout = flag.Duration("serve-timeout", 30*time.Second, "per-request timeout in -serve mode")
 		source       = flag.Int64("source", 0, "SSSP/WSSSP source vertex in -serve mode")
 	)
 	flag.Parse()
 	if *combine != "auto" && *combine != "off" {
 		return fmt.Errorf("invalid -combine %q (valid: auto, off)", *combine)
+	}
+
+	if *liveMode {
+		liveOut := *out
+		if liveOut == "BENCH_serve.json" { // the -out default belongs to -serve mode
+			liveOut = "BENCH_live.json"
+		}
+		return liveBench(ctx, liveArgs{
+			vertices: *liveVertices, edges: *liveEdges, mutations: *liveMutations,
+			batch: *liveBatch, k: *liveK, policy: *livePolicy,
+			tcp: *liveTCP, verify: *liveVerify, seed: *seed, out: liveOut,
+		})
 	}
 
 	if *serveURL != "" {
@@ -174,7 +204,7 @@ func serveLoad(ctx context.Context, args serveLoadArgs) error {
 
 // writeReport marshals the report to path ('-' for stdout), joining any
 // close error into the result so a full disk is not silently ignored.
-func writeReport(path string, report *serve.LoadReport) (err error) {
+func writeReport(path string, report any) (err error) {
 	payload, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -9,8 +9,8 @@
 //	ebv-serve -graph social=graph.txt,k=8,undirected -listen :8080
 //	ebv-serve -graph a=a.bin -graph b=b.txt,k=16 -queue 128 -max-concurrent 8
 //
-// Endpoints: POST /v1/jobs, GET /v1/graphs[?stats=1], GET /healthz,
-// GET /metrics.
+// Endpoints: POST /v1/jobs, POST /v1/graphs/{g}/mutations,
+// GET /v1/graphs[?stats=1], GET /healthz, GET /metrics.
 package main
 
 import (
@@ -31,7 +31,7 @@ import (
 )
 
 // graphFlags collects repeated -graph flags, each
-// "name=path[,k=N][,undirected][,combine]".
+// "name=path[,k=N][,undirected][,combine][,retention=N][,policy=NAME][,verify]".
 type graphFlags []serve.GraphSpec
 
 func (g *graphFlags) String() string {
@@ -45,7 +45,7 @@ func (g *graphFlags) String() string {
 func (g *graphFlags) Set(value string) error {
 	name, rest, found := strings.Cut(value, "=")
 	if !found || name == "" {
-		return fmt.Errorf("-graph %q: want name=path[,k=N][,undirected][,combine]", value)
+		return fmt.Errorf("-graph %q: want name=path[,k=N][,undirected][,combine][,retention=N][,policy=NAME][,verify]", value)
 	}
 	parts := strings.Split(rest, ",")
 	if parts[0] == "" {
@@ -58,12 +58,22 @@ func (g *graphFlags) Set(value string) error {
 			gs.Undirected = true
 		case opt == "combine":
 			gs.Combine = true
+		case opt == "verify":
+			gs.VerifyMutations = true
 		case strings.HasPrefix(opt, "k="):
 			k, err := strconv.Atoi(opt[2:])
 			if err != nil || k < 1 {
 				return fmt.Errorf("-graph %q: bad subgraph count %q", value, opt)
 			}
 			gs.Subgraphs = k
+		case strings.HasPrefix(opt, "retention="):
+			n, err := strconv.Atoi(opt[len("retention="):])
+			if err != nil {
+				return fmt.Errorf("-graph %q: bad stats retention %q", value, opt)
+			}
+			gs.StatsRetention = n
+		case strings.HasPrefix(opt, "policy="):
+			gs.MutationPolicy = opt[len("policy="):]
 		default:
 			return fmt.Errorf("-graph %q: unknown option %q", value, opt)
 		}
@@ -81,7 +91,7 @@ func main() {
 
 func run() error {
 	var graphs graphFlags
-	flag.Var(&graphs, "graph", "graph to serve: name=path[,k=N][,undirected][,combine] (repeatable)")
+	flag.Var(&graphs, "graph", "graph to serve: name=path[,k=N][,undirected][,combine][,retention=N][,policy=NAME][,verify] (repeatable)")
 	var (
 		listen        = flag.String("listen", ":8080", "HTTP listen address")
 		maxGraphs     = flag.Int("max-graphs", 4, "session-cache capacity (open graphs)")

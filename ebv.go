@@ -71,6 +71,7 @@ import (
 	"ebv/internal/ginger"
 	"ebv/internal/graph"
 	"ebv/internal/harness"
+	"ebv/internal/live"
 	"ebv/internal/metis"
 	"ebv/internal/ne"
 	"ebv/internal/partition"
@@ -340,6 +341,43 @@ var (
 	SequentialSSSP         = apps.SequentialSSSP
 	SequentialAggregate    = apps.SequentialAggregate
 	SequentialWeightedSSSP = apps.SequentialWeightedSSSP
+)
+
+// Live graphs (internal/live, DESIGN.md §13): Session.Apply streams edge
+// mutations into an open session, assigning inserts online with a
+// streaming vertex-cut policy and patching only the affected subgraphs.
+type (
+	// Mutation is one edge insert or delete, in global vertex ids.
+	Mutation = live.Mutation
+	// MutationOp is a Mutation's kind (OpInsert / OpDelete).
+	MutationOp = live.Op
+	// ApplyResult describes one committed mutation batch.
+	ApplyResult = live.ApplyResult
+	// LiveStats is the mutation layer's lifetime counters.
+	LiveStats = live.Stats
+	// MutationPolicyFunc scores parts for inserted edges (see
+	// MutationPolicyByName for the built-ins).
+	MutationPolicyFunc = live.Policy
+	// DeltaPageRank is PageRank iterated to a fixed point with an
+	// optional warm start from a previous job's values.
+	DeltaPageRank = live.DeltaPageRank
+)
+
+// Mutation ops.
+const (
+	OpInsert = live.OpInsert
+	OpDelete = live.OpDelete
+)
+
+// Live-graph entry points: the EBVL mutation-batch codec (the serve
+// endpoint's binary body format), the streaming policy registry, the
+// incremental-CC warm-start constructor and the rejected-batch sentinel.
+var (
+	EncodeMutations      = live.EncodeMutations
+	DecodeMutations      = live.DecodeMutations
+	MutationPolicyByName = live.PolicyByName
+	NewDeltaCC           = live.NewDeltaCC
+	ErrMutationRejected  = live.ErrRejected
 )
 
 // Vertex-centric comparator engine (Galois/Blogel stand-in, DESIGN.md §2).

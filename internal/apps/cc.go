@@ -55,6 +55,18 @@ type CC struct {
 	// whenever any local component changed, instead of only the changed
 	// ones. It exists for the replica-sync ablation bench.
 	SendAll bool
+
+	// Warm, when non-nil, seeds each component's label with the minimum
+	// over the covered vertices' rows of this width-1 matrix (dense over
+	// the global id space) in addition to the structural minimum — the
+	// incremental-CC warm start (internal/live): a previous run's labels
+	// are valid lower seeds when the graph only gained edges since, and
+	// the run converges in fewer rounds to the same fixed point.
+	Warm *graph.ValueMatrix
+	// WarmCovered restricts warm seeding to rows the producing run
+	// covered (uncovered rows are zero, which would falsely seed label
+	// 0). nil applies every row.
+	WarmCovered []bool
 }
 
 var _ bsp.Program = (*CC)(nil)
@@ -87,6 +99,24 @@ func (c *CC) NewWorker(sub *bsp.Subgraph, env bsp.Env) bsp.WorkerProgram {
 		r := w.dsu.find(int32(l))
 		if w.label[r] > float64(sub.GlobalIDs[l]) {
 			w.label[r] = float64(sub.GlobalIDs[l])
+		}
+	}
+	// Warm start: fold the previous run's labels in exactly as
+	// RestoreState folds a checkpoint's — min into the component root,
+	// covered rows only.
+	if c.Warm != nil {
+		for l := 0; l < sub.NumLocalVertices(); l++ {
+			gid := int(sub.GlobalIDs[l])
+			if gid >= c.Warm.Rows() {
+				continue
+			}
+			if c.WarmCovered != nil && (gid >= len(c.WarmCovered) || !c.WarmCovered[gid]) {
+				continue
+			}
+			r := w.dsu.find(int32(l))
+			if v := c.Warm.Scalar(gid); v < w.label[r] {
+				w.label[r] = v
+			}
 		}
 	}
 	w.replicated = sub.ReplicatedVertices()

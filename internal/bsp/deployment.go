@@ -25,12 +25,14 @@ var ErrDeploymentClosed = errors.New("bsp: deployment closed")
 // down; jobs blocked in a collective exchange are released and fail with
 // ErrDeploymentClosed.
 type Deployment struct {
-	subs    []*Subgraph
+	k       int
 	mesh    transport.Deployment
 	nextJob atomic.Uint32
 	served  atomic.Int64
 
 	mu     sync.Mutex
+	subs   []*Subgraph // current epoch's snapshot; replaced wholesale by Swap
+	epoch  uint64
 	closed bool
 }
 
@@ -52,14 +54,46 @@ func NewDeployment(subs []*Subgraph, mesh transport.Deployment) (*Deployment, er
 		return nil, fmt.Errorf("bsp: transport deployment has %d workers, %d subgraphs built",
 			mesh.NumWorkers(), len(subs))
 	}
-	return &Deployment{subs: subs, mesh: mesh}, nil
+	return &Deployment{k: len(subs), subs: subs, mesh: mesh}, nil
 }
 
-// NumWorkers returns the worker/subgraph count every job runs with.
-func (d *Deployment) NumWorkers() int { return len(d.subs) }
+// NumWorkers returns the worker/subgraph count every job runs with (fixed
+// for the deployment's lifetime; Swap preserves it).
+func (d *Deployment) NumWorkers() int { return d.k }
 
-// Subgraphs returns the deployment's subgraphs (shared, read-only).
-func (d *Deployment) Subgraphs() []*Subgraph { return d.subs }
+// Subgraphs returns the current epoch's subgraphs (shared, read-only).
+func (d *Deployment) Subgraphs() []*Subgraph {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.subs
+}
+
+// Epoch returns the current graph epoch: 0 at construction, incremented by
+// every successful Swap. A job's Result reports the epoch it ran on.
+func (d *Deployment) Epoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}
+
+// Swap atomically replaces the deployment's subgraphs with a new snapshot
+// and returns the new epoch. Jobs already executing keep the snapshot they
+// captured at admission and finish on it untouched; jobs admitted after
+// Swap run on the new epoch ("apply between jobs"). The worker count must
+// not change — the transport mesh is sized for it.
+func (d *Deployment) Swap(subs []*Subgraph) (uint64, error) {
+	if len(subs) != d.k {
+		return 0, fmt.Errorf("bsp: swap with %d subgraphs, deployment has %d workers", len(subs), d.k)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrDeploymentClosed
+	}
+	d.subs = subs
+	d.epoch++
+	return d.epoch, nil
+}
 
 // JobsServed returns the number of successfully completed jobs.
 func (d *Deployment) JobsServed() int64 { return d.served.Load() }
@@ -86,6 +120,11 @@ func (d *Deployment) Run(ctx context.Context, prog Program, cfg Config) (*Result
 		return nil, ErrDeploymentClosed
 	}
 	job := d.nextJob.Add(1)
+	// Capture the subgraph snapshot and epoch under the same lock that
+	// admits the job: a concurrent Swap either lands before admission (the
+	// job runs entirely on the new epoch) or after (the job finishes on the
+	// old snapshot, which Swap never mutates).
+	subs, epoch := d.subs, d.epoch
 	trs, err := d.mesh.OpenJob(job, width)
 	d.mu.Unlock()
 	if err != nil {
@@ -99,13 +138,14 @@ func (d *Deployment) Run(ctx context.Context, prog Program, cfg Config) (*Result
 			_ = tr.Close()
 		}
 	}()
-	res, err := executeJob(ctx, d.subs, prog, trs, cfg, width)
+	res, err := executeJob(ctx, subs, prog, trs, cfg, width)
 	if err != nil {
 		if d.isClosed() && errors.Is(err, transport.ErrClosed) {
 			return nil, fmt.Errorf("bsp: job %d (%s): %w", job, prog.Name(), ErrDeploymentClosed)
 		}
 		return nil, err
 	}
+	res.Epoch = epoch
 	d.served.Add(1)
 	return res, nil
 }

@@ -301,6 +301,10 @@ type Result struct {
 	// WallTime is the end-to-end execution time (excluding partitioning
 	// and subgraph construction, matching the paper's methodology).
 	WallTime time.Duration
+	// Epoch identifies the graph snapshot the job ran on: 0 for a frozen
+	// deployment, incremented per Deployment.Swap when a live mutation
+	// layer is attached (internal/live).
+	Epoch uint64
 }
 
 // Value returns vertex v's scalar value (column 0) and whether v was

@@ -231,58 +231,10 @@ func buildSubgraphs(g *graph.Graph, a *partition.Assignment,
 	// Pass 2: materialize each subgraph, parts in parallel.
 	subs := make([]*Subgraph, k)
 	err := runParts(parallelism, k, func(p int) error {
-		set := sets[p]
-		count := set.Count()
-		sub := &Subgraph{
-			Part:              p,
-			NumWorkers:        k,
-			NumGlobalVertices: g.NumVertices(),
-			GlobalIDs:         make([]graph.VertexID, 0, count),
-			ReplicaPeers:      make([][]int32, count),
-			GlobalOutDegree:   make([]int32, count),
-			GlobalInDegree:    make([]int32, count),
-		}
-		set.Range(func(v int) {
-			local := int32(len(sub.GlobalIDs))
-			sub.GlobalIDs = append(sub.GlobalIDs, graph.VertexID(v))
-			sub.GlobalOutDegree[local] = int32(g.OutDegree(graph.VertexID(v)))
-			sub.GlobalInDegree[local] = int32(g.InDegree(graph.VertexID(v)))
-			all := replicas.Parts(graph.VertexID(v))
-			if len(all) > 1 {
-				peers := make([]int32, 0, len(all)-1)
-				for _, q := range all {
-					if int(q) != p {
-						peers = append(peers, q)
-					}
-				}
-				sub.ReplicaPeers[local] = peers
-			}
-		})
-		sub.buildLocalIndex()
-
-		// Local edge list: pre-sized from EdgeCounts, filled by offset in
-		// global edge order (deterministic within the part). Localization
-		// goes through LocalOf, so sparse parts work without the dense
-		// index; every endpoint is covered by construction.
-		sub.Edges = make([]graph.Edge, counts[p])
-		if weights != nil {
-			sub.Weights = make([]float64, counts[p])
-		}
-		for w, idx := range partEdges(p) {
-			e := edges[idx]
-			ls, _ := sub.LocalOf(e.Src)
-			ld, _ := sub.LocalOf(e.Dst)
-			sub.Edges[w] = graph.Edge{Src: graph.VertexID(ls), Dst: graph.VertexID(ld)}
-			if weights != nil {
-				sub.Weights[w] = weights[idx]
-			}
-		}
-		lg, err := graph.New(sub.NumLocalVertices(), sub.Edges)
+		sub, err := BuildPart(g, p, k, partEdges(p), sets[p], replicas.Parts, weights)
 		if err != nil {
-			return fmt.Errorf("bsp: build local graph of part %d: %w", p, err)
+			return err
 		}
-		sub.Out = graph.BuildCSR(lg)
-		sub.In = graph.BuildReverseCSR(lg)
 		subs[p] = sub
 		return nil
 	})
@@ -290,6 +242,73 @@ func buildSubgraphs(g *graph.Graph, a *partition.Assignment,
 		return nil, err
 	}
 	return subs, nil
+}
+
+// BuildPart materializes a single part of a k-way edge partition of g —
+// the per-part unit of work of buildSubgraphs, exported so incremental
+// layers (internal/live) can rebuild exactly the parts a mutation batch
+// touched. bucket lists the part's global edge indices in ascending
+// order (which fixes the local edge order), set is the part's covered
+// vertex bitset, and partsOf returns the sorted list of parts covering a
+// global vertex (the replica table; it must already reflect set).
+// weights, when non-nil, is the global per-edge weight vector. The
+// returned subgraph is byte-identical to the one a full build would
+// produce for part p.
+func BuildPart(g *graph.Graph, p, k int, bucket []int32, set partition.Bitset,
+	partsOf func(graph.VertexID) []int32, weights graph.EdgeWeights) (*Subgraph, error) {
+	edges := g.Edges()
+	count := set.Count()
+	sub := &Subgraph{
+		Part:              p,
+		NumWorkers:        k,
+		NumGlobalVertices: g.NumVertices(),
+		GlobalIDs:         make([]graph.VertexID, 0, count),
+		ReplicaPeers:      make([][]int32, count),
+		GlobalOutDegree:   make([]int32, count),
+		GlobalInDegree:    make([]int32, count),
+	}
+	set.Range(func(v int) {
+		local := int32(len(sub.GlobalIDs))
+		sub.GlobalIDs = append(sub.GlobalIDs, graph.VertexID(v))
+		sub.GlobalOutDegree[local] = int32(g.OutDegree(graph.VertexID(v)))
+		sub.GlobalInDegree[local] = int32(g.InDegree(graph.VertexID(v)))
+		all := partsOf(graph.VertexID(v))
+		if len(all) > 1 {
+			peers := make([]int32, 0, len(all)-1)
+			for _, q := range all {
+				if int(q) != p {
+					peers = append(peers, q)
+				}
+			}
+			sub.ReplicaPeers[local] = peers
+		}
+	})
+	sub.buildLocalIndex()
+
+	// Local edge list: pre-sized from the bucket, filled by offset in
+	// global edge order (deterministic within the part). Localization
+	// goes through LocalOf, so sparse parts work without the dense
+	// index; every endpoint is covered by construction.
+	sub.Edges = make([]graph.Edge, len(bucket))
+	if weights != nil {
+		sub.Weights = make([]float64, len(bucket))
+	}
+	for w, idx := range bucket {
+		e := edges[idx]
+		ls, _ := sub.LocalOf(e.Src)
+		ld, _ := sub.LocalOf(e.Dst)
+		sub.Edges[w] = graph.Edge{Src: graph.VertexID(ls), Dst: graph.VertexID(ld)}
+		if weights != nil {
+			sub.Weights[w] = weights[idx]
+		}
+	}
+	lg, err := graph.New(sub.NumLocalVertices(), sub.Edges)
+	if err != nil {
+		return nil, fmt.Errorf("bsp: build local graph of part %d: %w", p, err)
+	}
+	sub.Out = graph.BuildCSR(lg)
+	sub.In = graph.BuildReverseCSR(lg)
+	return sub, nil
 }
 
 // newLocalIndex allocates a dense global→local index with every entry -1.

@@ -37,6 +37,7 @@ var ctxFlowScope = []string{
 	"ebv/internal/cluster",
 	"ebv/internal/partition",
 	"ebv/internal/serve",
+	"ebv/internal/live",
 }
 
 func runCtxFlow(pass *Pass) error {

@@ -1,0 +1,115 @@
+package live
+
+import (
+	"bytes"
+	"testing"
+
+	"ebv/internal/graph"
+)
+
+func testBatch() []Mutation {
+	return []Mutation{
+		{Op: OpInsert, Src: 0, Dst: 1},
+		{Op: OpInsert, Src: 7, Dst: 7},
+		{Op: OpDelete, Src: 1<<32 - 1, Dst: 0},
+		{Op: OpDelete, Src: 42, Dst: 1000000},
+	}
+}
+
+func TestMutationCodecRoundTrip(t *testing.T) {
+	for _, muts := range [][]Mutation{nil, {}, testBatch()} {
+		data, err := EncodeMutations(muts)
+		if err != nil {
+			t.Fatalf("encode %d mutations: %v", len(muts), err)
+		}
+		got, err := DecodeMutations(data)
+		if err != nil {
+			t.Fatalf("decode %d mutations: %v", len(muts), err)
+		}
+		if len(got) != len(muts) {
+			t.Fatalf("round trip: %d mutations in, %d out", len(muts), len(got))
+		}
+		for i := range muts {
+			if got[i] != muts[i] {
+				t.Fatalf("mutation %d: %+v != %+v", i, got[i], muts[i])
+			}
+		}
+	}
+}
+
+func TestMutationCodecRejectsUnknownOp(t *testing.T) {
+	if _, err := EncodeMutations([]Mutation{{Op: 3, Src: 0, Dst: 1}}); err == nil {
+		t.Fatal("encode accepted unknown op 3")
+	}
+	if _, err := EncodeMutations([]Mutation{{Op: 0, Src: 0, Dst: 1}}); err == nil {
+		t.Fatal("encode accepted zero op")
+	}
+}
+
+// TestMutationCodecRejectsCorruption flips every byte and truncates at
+// every length of a valid encoding: all variants must fail to decode
+// (every byte is covered by magic, version, count, payload-CRC or the
+// length check — the EBVK-style trust-nothing framing).
+func TestMutationCodecRejectsCorruption(t *testing.T) {
+	data, err := EncodeMutations(testBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeMutations(data[:n]); err == nil {
+			t.Fatalf("decode accepted truncation to %d of %d bytes", n, len(data))
+		}
+	}
+	for i := range data {
+		for _, flip := range []byte{0x01, 0x80} {
+			corrupt := bytes.Clone(data)
+			corrupt[i] ^= flip
+			if _, err := DecodeMutations(corrupt); err == nil {
+				t.Fatalf("decode accepted bit flip %#02x at byte %d", flip, i)
+			}
+		}
+	}
+	if _, err := DecodeMutations(append(bytes.Clone(data), 0)); err == nil {
+		t.Fatal("decode accepted trailing byte")
+	}
+}
+
+// FuzzDecodeMutations holds the codec to two properties under arbitrary
+// input: it never panics, and anything it accepts re-encodes to exactly
+// the bytes it came from (decode ∘ encode = identity on the valid set).
+func FuzzDecodeMutations(f *testing.F) {
+	empty, err := EncodeMutations(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := EncodeMutations(testBatch())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	corrupt := bytes.Clone(valid)
+	corrupt[9] ^= 0x40
+	f.Add(corrupt)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		muts, err := DecodeMutations(data)
+		if err != nil {
+			return
+		}
+		for i, m := range muts {
+			if m.Op != OpInsert && m.Op != OpDelete {
+				t.Fatalf("decode accepted invalid op %d at %d", uint32(m.Op), i)
+			}
+			_ = graph.Edge{Src: m.Src, Dst: m.Dst}
+		}
+		re, err := EncodeMutations(muts)
+		if err != nil {
+			t.Fatalf("re-encode of accepted batch failed: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted %d bytes but re-encoded to %d different bytes", len(data), len(re))
+		}
+	})
+}

@@ -1,0 +1,177 @@
+// Delta-algorithm tests: warm-started incremental CC and fixed-point
+// delta-PageRank must reach the same answers as their cold counterparts,
+// in no more supersteps, after insert-only growth.
+package live
+
+import (
+	"math"
+	"testing"
+
+	"ebv/internal/apps"
+	"ebv/internal/bsp"
+	"ebv/internal/core"
+	"ebv/internal/graph"
+)
+
+// grownPair draws one power-law edge list and splits it into a base graph
+// g0 and a superset graph g1 (base + holdout inserts), each with built
+// subgraphs — the before/after snapshots of an insert-only stream.
+func grownPair(t *testing.T, k int) (subs0, subs1 []*bsp.Subgraph) {
+	t.Helper()
+	g := liveGraph(t, 800, 4200, 31)
+	all := g.Edges()
+	e0 := len(all) - 200
+	g0, err := graph.New(g.NumVertices(), all[:e0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := graph.New(g.NumVertices(), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, gi := range []*graph.Graph{g0, g1} {
+		a, err := core.New().Partition(gi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs, err := bsp.BuildSubgraphsParallel(gi, a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			subs0 = subs
+		} else {
+			subs1 = subs
+		}
+	}
+	return subs0, subs1
+}
+
+// TestDeltaCCWarmMatchesCold: warm CC on the grown graph, seeded from the
+// base graph's labels, reaches the cold run's fixed point byte-identically
+// and in no more supersteps.
+func TestDeltaCCWarmMatchesCold(t *testing.T) {
+	subs0, subs1 := grownPair(t, 6)
+	prev, err := bsp.Run(subs0, &apps.CC{}, bsp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := bsp.Run(subs1, &apps.CC{}, bsp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := bsp.Run(subs1, NewDeltaCC(prev), bsp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Steps > cold.Steps {
+		t.Fatalf("warm CC took %d supersteps, cold took %d", warm.Steps, cold.Steps)
+	}
+	if len(warm.Values.Data) != len(cold.Values.Data) {
+		t.Fatalf("value shapes differ: %d vs %d", len(warm.Values.Data), len(cold.Values.Data))
+	}
+	for i := range cold.Values.Data {
+		if math.Float64bits(warm.Values.Data[i]) != math.Float64bits(cold.Values.Data[i]) {
+			t.Fatalf("warm CC diverges from cold at row %d: %g vs %g",
+				i, warm.Values.Data[i], cold.Values.Data[i])
+		}
+	}
+}
+
+// TestNewDeltaCCNilPrev degrades to a plain cold CC program.
+func TestNewDeltaCCNilPrev(t *testing.T) {
+	prog := NewDeltaCC(nil)
+	if prog.Warm != nil || prog.WarmCovered != nil {
+		t.Fatalf("nil prev produced a warm program: %+v", prog)
+	}
+}
+
+// TestDeltaPageRankWarmConverges: warm delta-PR on the grown graph,
+// started from the base graph's fixed point, converges to the cold fixed
+// point (within Tol-scale slack) in no more iterations than cold.
+func TestDeltaPageRankWarmConverges(t *testing.T) {
+	subs0, subs1 := grownPair(t, 6)
+	prev, err := bsp.Run(subs0, &DeltaPageRank{}, bsp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := bsp.Run(subs1, &DeltaPageRank{}, bsp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := bsp.Run(subs1, &DeltaPageRank{Prev: prev.Values, PrevCovered: prev.Covered}, bsp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Steps > cold.Steps {
+		t.Fatalf("warm delta-PR took %d supersteps, cold took %d", warm.Steps, cold.Steps)
+	}
+	if warm.Steps <= 2 {
+		t.Fatalf("warm delta-PR halted after %d supersteps — the 200 inserts cannot already be converged", warm.Steps)
+	}
+	var maxDiff float64
+	for v, covered := range cold.Covered {
+		if !covered {
+			continue
+		}
+		if d := math.Abs(warm.Values.Scalar(v) - cold.Values.Scalar(v)); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-6 {
+		t.Fatalf("warm and cold fixed points differ by %g (> 1e-6)", maxDiff)
+	}
+}
+
+// TestDeltaPageRankMatchesPowerIteration: on a tiny hand-checked graph the
+// fixed-point ranks must agree with a dense power iteration run to the
+// same tolerance.
+func TestDeltaPageRankMatchesPowerIteration(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 0}, {Src: 1, Dst: 0},
+	}
+	g, err := graph.New(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New().Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := bsp.BuildSubgraphsParallel(g, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bsp.Run(subs, &DeltaPageRank{Tol: 1e-12}, bsp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dense reference: same update rule, same damping, uniform start.
+	n := 4
+	ranks := []float64{0.25, 0.25, 0.25, 0.25}
+	for iter := 0; iter < 10000; iter++ {
+		next := make([]float64, n)
+		for _, e := range edges {
+			next[e.Dst] += ranks[e.Src] / float64(g.OutDegree(e.Src))
+		}
+		var delta float64
+		for v := range next {
+			next[v] = (1-0.85)/float64(n) + 0.85*next[v]
+			if d := math.Abs(next[v] - ranks[v]); d > delta {
+				delta = d
+			}
+		}
+		ranks = next
+		if delta < 1e-13 {
+			break
+		}
+	}
+	for v := 0; v < n; v++ {
+		if d := math.Abs(res.Values.Scalar(v) - ranks[v]); d > 1e-9 {
+			t.Fatalf("vertex %d: delta-PR rank %g vs reference %g (diff %g)",
+				v, res.Values.Scalar(v), ranks[v], d)
+		}
+	}
+}

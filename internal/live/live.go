@@ -1,0 +1,787 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ebv/internal/bsp"
+	"ebv/internal/core"
+	"ebv/internal/graph"
+	"ebv/internal/partition"
+)
+
+// ErrRejected wraps every validation failure of a mutation batch: a batch
+// is applied atomically or not at all, and a rejected batch leaves the
+// live state untouched.
+var ErrRejected = errors.New("live: mutation batch rejected")
+
+// defaultDriftThreshold is the relative replication-factor growth over
+// the baseline that flags (or, with AutoRepartition, triggers) a
+// repartition — the live form of the paper's Fig. 5 replication-growth
+// experiment.
+const defaultDriftThreshold = 0.2
+
+// Config tunes a live mutation layer.
+type Config struct {
+	// Policy assigns inserted edges to parts online (nil → EBVPolicy).
+	Policy Policy
+	// VerifyPatches cross-checks every incremental patch against a full
+	// part-parallel rebuild and rejects the batch on any divergence —
+	// the byte-identity assertion between the two paths, paid at full
+	// rebuild cost (tests and smoke runs turn it on).
+	VerifyPatches bool
+	// ForceRebuild routes every batch through the full-rebuild fallback
+	// instead of the incremental patch path.
+	ForceRebuild bool
+	// DriftThreshold is the relative RF growth over the baseline that
+	// sets NeedsRepartition (0 → 0.2; negative disables the check).
+	DriftThreshold float64
+	// AutoRepartition runs a full EBV repartition + rebuild inline at
+	// the apply boundary whenever the threshold trips, resetting the
+	// baseline. Off, the drift is only flagged (metrics/Stats).
+	AutoRepartition bool
+	// Parallelism bounds the part-parallel patch/rebuild fan-out
+	// (<= 0 selects GOMAXPROCS).
+	Parallelism int
+}
+
+// Stats is a snapshot of the mutation layer's lifetime counters.
+type Stats struct {
+	// Epoch is the deployment epoch after the last applied batch.
+	Epoch uint64
+	// Batches counts applied (committed) mutation batches.
+	Batches int64
+	// Inserts and Deletes count applied mutations by kind.
+	Inserts int64
+	Deletes int64
+	// PartsRebuilt counts parts rebuilt from their edge buckets (the
+	// BuildPart delta primitive); PartsPatched counts parts that only
+	// had replica-peer/degree rows patched; PartsReused counts parts
+	// carried over by pointer, untouched.
+	PartsRebuilt int64
+	PartsPatched int64
+	PartsReused  int64
+	// FullRebuilds counts batches that took the full-rebuild fallback.
+	FullRebuilds int64
+	// Repartitions counts auto-repartitions taken at apply boundaries.
+	Repartitions int64
+	// RF is the current replication factor Σ|Vp|/|V|; BaselineRF is the
+	// RF right after preparation (or the last repartition); Drift is
+	// RF/BaselineRF − 1.
+	RF         float64
+	BaselineRF float64
+	Drift      float64
+	// NeedsRepartition reports that Drift exceeds the threshold.
+	NeedsRepartition bool
+}
+
+// ApplyResult describes one committed mutation batch.
+type ApplyResult struct {
+	// Epoch is the deployment epoch the batch produced.
+	Epoch uint64 `json:"epoch"`
+	// Inserted and Deleted count the batch's mutations by kind.
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// PartsRebuilt / PartsPatched / PartsReused break down what happened
+	// to each of the k parts (they sum to k).
+	PartsRebuilt int `json:"parts_rebuilt"`
+	PartsPatched int `json:"parts_patched"`
+	PartsReused  int `json:"parts_reused"`
+	// FullRebuild reports the batch took the full-rebuild fallback.
+	FullRebuild bool `json:"full_rebuild,omitempty"`
+	// Repartitioned reports an auto-repartition ran at this boundary.
+	Repartitioned bool `json:"repartitioned,omitempty"`
+	// NeedsRepartition reports RF drift past the configured threshold.
+	NeedsRepartition bool `json:"needs_repartition,omitempty"`
+	// RF and Drift are the post-batch replication factor and its
+	// relative growth over the baseline.
+	RF    float64 `json:"replication_factor"`
+	Drift float64 `json:"rf_drift"`
+	// PatchTime is the time spent mutating the graph + subgraphs
+	// (excluding any verification rebuild).
+	PatchTime time.Duration `json:"patch_time_ns"`
+}
+
+// State is the live mutation layer over one prepared deployment: the
+// current graph, its edge assignment, the per-part coverage sets and the
+// current subgraph snapshot. Apply is the only mutator; it never touches
+// a previously published graph or subgraph (copy-on-write throughout), so
+// jobs running on an older epoch are undisturbed.
+type State struct {
+	mu        sync.Mutex
+	policy    Policy
+	cfg       Config
+	threshold float64
+	par       int
+
+	k            int
+	n            int
+	g            *graph.Graph
+	parts        []int32
+	sets         []partition.Bitset
+	ecount       []int
+	vcount       []int
+	replicaTotal int
+	baselineRF   float64
+	subs         []*bsp.Subgraph
+	stats        Stats
+}
+
+// NewState attaches a mutation layer to a prepared build. subs must be
+// the subgraphs built from (g, a); the state takes logical ownership of
+// the assignment's Parts (cloned) but never mutates g or subs. Weighted
+// builds are rejected — the v1 mutation stream carries no weights.
+func NewState(g *graph.Graph, a *partition.Assignment, subs []*bsp.Subgraph, cfg Config) (*State, error) {
+	if g == nil || a == nil {
+		return nil, errors.New("live: nil graph or assignment")
+	}
+	if len(subs) != a.K {
+		return nil, fmt.Errorf("live: %d subgraphs for a %d-part assignment", len(subs), a.K)
+	}
+	if len(a.Parts) != g.NumEdges() {
+		return nil, fmt.Errorf("live: assignment covers %d edges, graph has %d", len(a.Parts), g.NumEdges())
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = EBVPolicy{}
+	}
+	threshold := cfg.DriftThreshold
+	if threshold == 0 {
+		threshold = defaultDriftThreshold
+	} else if threshold < 0 {
+		threshold = math.Inf(1)
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	st := &State{
+		policy:    policy,
+		cfg:       cfg,
+		threshold: threshold,
+		par:       par,
+		k:         a.K,
+		n:         g.NumVertices(),
+		g:         g,
+		parts:     slices.Clone(a.Parts),
+		sets:      make([]partition.Bitset, a.K),
+		ecount:    make([]int, a.K),
+		vcount:    make([]int, a.K),
+		subs:      subs,
+	}
+	for p, sub := range subs {
+		if sub == nil || sub.Part != p {
+			return nil, fmt.Errorf("live: subgraph %d missing or misnumbered", p)
+		}
+		if sub.Weights != nil {
+			return nil, errors.New("live: weighted sessions do not accept mutations (the v1 stream carries no weights)")
+		}
+		set := partition.NewBitset(st.n)
+		for _, gid := range sub.GlobalIDs {
+			set.Set(int(gid))
+		}
+		st.sets[p] = set
+		st.vcount[p] = len(sub.GlobalIDs)
+		st.ecount[p] = len(sub.Edges)
+		st.replicaTotal += len(sub.GlobalIDs)
+	}
+	st.baselineRF = st.rf()
+	st.stats.RF = st.baselineRF
+	st.stats.BaselineRF = st.baselineRF
+	return st, nil
+}
+
+func (st *State) rf() float64 {
+	if st.n == 0 {
+		return 0
+	}
+	return float64(st.replicaTotal) / float64(st.n)
+}
+
+// Stats returns a snapshot of the layer's counters.
+func (st *State) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
+// Snapshot returns the current graph, a copy of its edge assignment and
+// the epoch they correspond to. The graph is never mutated after
+// publication, so callers may hold it across later Applies.
+func (st *State) Snapshot() (*graph.Graph, *partition.Assignment, uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.g, &partition.Assignment{K: st.k, Parts: slices.Clone(st.parts)}, st.stats.Epoch
+}
+
+// Apply validates and applies one mutation batch atomically, then swaps
+// the new subgraph snapshot into the deployment through swap (which must
+// be bsp.(*Deployment).Swap or an equivalent) and returns the committed
+// epoch. On any error the state is unchanged and nothing is swapped.
+func (st *State) Apply(ctx context.Context, muts []Mutation,
+	swap func([]*bsp.Subgraph) (uint64, error)) (*ApplyResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(muts) == 0 {
+		return &ApplyResult{
+			Epoch:       st.stats.Epoch,
+			PartsReused: st.k,
+			RF:          st.stats.RF,
+			Drift:       st.stats.Drift,
+		}, nil
+	}
+	start := time.Now()
+
+	// ---- Validate (nothing mutated until every check passes). ----
+	inserts, deletes := 0, 0
+	wants := make(map[graph.Edge]int)
+	for i, m := range muts {
+		if int64(m.Src) >= int64(st.n) || int64(m.Dst) >= int64(st.n) {
+			return nil, fmt.Errorf("%w: mutation %d: edge (%d,%d) outside the %d-vertex id space",
+				ErrRejected, i, m.Src, m.Dst, st.n)
+		}
+		switch m.Op {
+		case OpInsert:
+			inserts++
+		case OpDelete:
+			deletes++
+			wants[graph.Edge{Src: m.Src, Dst: m.Dst}]++
+		default:
+			return nil, fmt.Errorf("%w: mutation %d: unknown op %d", ErrRejected, i, uint32(m.Op))
+		}
+	}
+	edges := st.g.Edges()
+	if int64(len(edges)-deletes+inserts) > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: %d edges exceed the int32 edge-index limit",
+			ErrRejected, len(edges)-deletes+inserts)
+	}
+	// Deletes claim the lowest-indexed occurrence of their (src,dst)
+	// pair; the claim scan doubles as existence validation.
+	var tomb partition.Bitset
+	if deletes > 0 {
+		tomb = partition.NewBitset(len(edges))
+		remaining := deletes
+		for i, e := range edges {
+			if w := wants[e]; w > 0 {
+				wants[e] = w - 1
+				tomb.Set(i)
+				remaining--
+				if remaining == 0 {
+					break
+				}
+			}
+		}
+		if remaining > 0 {
+			for i, m := range muts {
+				if m.Op == OpDelete && wants[graph.Edge{Src: m.Src, Dst: m.Dst}] > 0 {
+					return nil, fmt.Errorf("%w: mutation %d deletes absent edge (%d,%d)",
+						ErrRejected, i, m.Src, m.Dst)
+				}
+			}
+		}
+	}
+
+	// ---- Working copies (commit only on success). ----
+	wEcount := slices.Clone(st.ecount)
+	wVcount := slices.Clone(st.vcount)
+	wSets := slices.Clone(st.sets) // headers; parts cloned on first write
+	setCloned := make([]bool, st.k)
+	cloneSet := func(p int32) {
+		if !setCloned[p] {
+			wSets[p] = slices.Clone(wSets[p])
+			setCloned[p] = true
+		}
+	}
+	affected := make([]bool, st.k)
+	wReplicas := st.replicaTotal
+
+	if tomb != nil {
+		tomb.Range(func(i int) {
+			p := st.parts[i]
+			wEcount[p]--
+			affected[p] = true
+		})
+	}
+
+	// ---- Assign inserts online, in batch order. ----
+	view := &View{
+		k:        st.k,
+		numV:     st.n,
+		numEdges: len(edges) - deletes,
+		replicas: wReplicas,
+		ecount:   wEcount,
+		vcount:   wVcount,
+		sets:     wSets,
+		g:        st.g,
+	}
+	insParts := make([]int32, 0, inserts)
+	for _, m := range muts {
+		if m.Op != OpInsert {
+			continue
+		}
+		e := graph.Edge{Src: m.Src, Dst: m.Dst}
+		p := st.policy.Assign(view, e)
+		if p < 0 || int(p) >= st.k {
+			return nil, fmt.Errorf("live: policy %s assigned edge (%d,%d) to part %d of %d",
+				st.policy.Name(), e.Src, e.Dst, p, st.k)
+		}
+		insParts = append(insParts, p)
+		affected[p] = true
+		wEcount[p]++
+		view.numEdges++
+		for _, v := range [2]graph.VertexID{e.Src, e.Dst} {
+			if !wSets[p].Get(int(v)) {
+				cloneSet(p)
+				wSets[p].Set(int(v))
+				wVcount[p]++
+				view.replicas++
+			}
+		}
+	}
+
+	// ---- Compact the edge list (order-preserving) + rebucket. ----
+	newEdges := make([]graph.Edge, 0, len(edges)-deletes+inserts)
+	newParts := make([]int32, 0, len(edges)-deletes+inserts)
+	for i, e := range edges {
+		if tomb != nil && tomb.Get(i) {
+			continue
+		}
+		newEdges = append(newEdges, e)
+		newParts = append(newParts, st.parts[i])
+	}
+	ins := 0
+	for _, m := range muts {
+		if m.Op == OpInsert {
+			newEdges = append(newEdges, graph.Edge{Src: m.Src, Dst: m.Dst})
+			newParts = append(newParts, insParts[ins])
+			ins++
+		}
+	}
+	newG, err := graph.New(st.n, newEdges)
+	if err != nil {
+		return nil, fmt.Errorf("live: rebuild graph: %w", err)
+	}
+	offsets := make([]int, st.k+1)
+	for _, p := range newParts {
+		offsets[p+1]++
+	}
+	for p := 0; p < st.k; p++ {
+		offsets[p+1] += offsets[p]
+	}
+	order := make([]int32, len(newParts))
+	cursor := make([]int, st.k)
+	copy(cursor, offsets[:st.k])
+	for i, p := range newParts {
+		order[cursor[p]] = int32(i)
+		cursor[p]++
+	}
+	bucket := func(p int) []int32 { return order[offsets[p]:offsets[p+1]] }
+
+	// ---- Patch, falling back to a full rebuild. ----
+	res := &ApplyResult{Inserted: inserts, Deleted: deletes}
+	fullRebuild := func() ([]*bsp.Subgraph, []partition.Bitset, error) {
+		subs, err := bsp.BuildSubgraphsParallel(newG,
+			&partition.Assignment{K: st.k, Parts: newParts}, st.par)
+		if err != nil {
+			return nil, nil, fmt.Errorf("live: full rebuild: %w", err)
+		}
+		sets := make([]partition.Bitset, st.k)
+		for p, sub := range subs {
+			set := partition.NewBitset(st.n)
+			for _, gid := range sub.GlobalIDs {
+				set.Set(int(gid))
+			}
+			sets[p] = set
+			wVcount[p] = len(sub.GlobalIDs)
+		}
+		return subs, sets, nil
+	}
+	var newSubs []*bsp.Subgraph
+	var finalSets []partition.Bitset
+	if st.cfg.ForceRebuild {
+		newSubs, finalSets, err = fullRebuild()
+		if err != nil {
+			return nil, err
+		}
+		res.FullRebuild = true
+		res.PartsRebuilt = st.k
+	} else {
+		newSubs, finalSets, err = st.patch(patchIn{
+			newG:     newG,
+			bucket:   bucket,
+			affected: affected,
+			wVcount:  wVcount,
+			muts:     muts,
+			res:      res,
+		})
+		if err != nil {
+			// The patch path failing is an invariant breach, not a batch
+			// problem: the full rebuild is the fallback of record.
+			newSubs, finalSets, err = fullRebuild()
+			if err != nil {
+				return nil, err
+			}
+			res.FullRebuild = true
+			res.PartsRebuilt, res.PartsPatched, res.PartsReused = st.k, 0, 0
+		}
+	}
+	wReplicas = 0
+	for p := 0; p < st.k; p++ {
+		wReplicas += wVcount[p]
+	}
+	res.PatchTime = time.Since(start)
+
+	// ---- Verify: the incremental patch must be byte-identical to a
+	// full part-parallel rebuild of the same (graph, assignment). ----
+	if st.cfg.VerifyPatches && !res.FullRebuild {
+		full, err := bsp.BuildSubgraphsParallel(newG,
+			&partition.Assignment{K: st.k, Parts: newParts}, st.par)
+		if err != nil {
+			return nil, fmt.Errorf("live: verification rebuild: %w", err)
+		}
+		for p := range full {
+			if !subgraphsEqual(newSubs[p], full[p]) {
+				return nil, fmt.Errorf("live: patch diverges from full rebuild on part %d (epoch %d): invariant violation",
+					p, st.stats.Epoch+1)
+			}
+		}
+	}
+
+	// ---- Commit + drift bookkeeping + swap. ----
+	st.g = newG
+	st.parts = newParts
+	st.sets = finalSets
+	st.ecount = wEcount
+	st.vcount = wVcount
+	st.replicaTotal = wReplicas
+	st.subs = newSubs
+	rf := st.rf()
+	drift := 0.0
+	if st.baselineRF > 0 {
+		drift = rf/st.baselineRF - 1
+	}
+	needs := drift > st.threshold
+	if needs && st.cfg.AutoRepartition {
+		if err := st.repartitionLocked(ctx); err != nil {
+			return nil, fmt.Errorf("live: auto-repartition: %w", err)
+		}
+		res.Repartitioned = true
+		rf, drift, needs = st.rf(), 0, false
+	}
+	epoch, err := swap(st.subs)
+	if err != nil {
+		return nil, fmt.Errorf("live: swap epoch: %w", err)
+	}
+
+	st.stats.Epoch = epoch
+	st.stats.Batches++
+	st.stats.Inserts += int64(inserts)
+	st.stats.Deletes += int64(deletes)
+	st.stats.PartsRebuilt += int64(res.PartsRebuilt)
+	st.stats.PartsPatched += int64(res.PartsPatched)
+	st.stats.PartsReused += int64(res.PartsReused)
+	if res.FullRebuild {
+		st.stats.FullRebuilds++
+	}
+	if res.Repartitioned {
+		st.stats.Repartitions++
+	}
+	st.stats.RF = rf
+	st.stats.BaselineRF = st.baselineRF
+	st.stats.Drift = drift
+	st.stats.NeedsRepartition = needs
+
+	res.Epoch = epoch
+	res.RF = rf
+	res.Drift = drift
+	res.NeedsRepartition = needs
+	return res, nil
+}
+
+// patchIn carries the per-batch patch inputs.
+type patchIn struct {
+	newG     *graph.Graph
+	bucket   func(p int) []int32
+	affected []bool
+	wVcount  []int
+	muts     []Mutation
+	res      *ApplyResult
+}
+
+// patch is the incremental path: recompute the coverage sets of every
+// affected part from its new bucket (phase 1), then rebuild affected
+// parts with BuildPart and row-patch unaffected parts whose replica-peer
+// or degree rows changed, sharing everything else (phase 2).
+func (st *State) patch(in patchIn) ([]*bsp.Subgraph, []partition.Bitset, error) {
+	k, n := st.k, st.n
+
+	// Phase 1: exact coverage sets of affected parts, all installed
+	// before any peer derivation reads them (a part's peers depend on
+	// every other part's coverage).
+	finalSets := make([]partition.Bitset, k)
+	copy(finalSets, st.sets)
+	runPartsErr := runParts(st.par, k, func(p int) error {
+		if !in.affected[p] {
+			return nil
+		}
+		set := partition.NewBitset(n)
+		edges := in.newG.Edges()
+		for _, idx := range in.bucket(p) {
+			e := edges[idx]
+			set.Set(int(e.Src))
+			set.Set(int(e.Dst))
+		}
+		finalSets[p] = set
+		return nil
+	})
+	if runPartsErr != nil {
+		return nil, nil, runPartsErr
+	}
+
+	// Coverage-changed vertices: word-wise diff of each affected part's
+	// pre-batch set vs its recomputed one. st.sets still holds the
+	// pre-batch originals (the working sets were cloned before writes).
+	changed := partition.NewBitset(n)
+	for p := 0; p < k; p++ {
+		if !in.affected[p] {
+			continue
+		}
+		old := st.sets[p]
+		for w := range changed {
+			changed[w] |= old[w] ^ finalSets[p][w]
+		}
+		in.wVcount[p] = finalSets[p].Count()
+	}
+	// Degree-changed vertices: mutation endpoints whose global degree
+	// actually moved (an insert+delete pair can cancel out).
+	for _, m := range in.muts {
+		for _, v := range [2]graph.VertexID{m.Src, m.Dst} {
+			if st.g.OutDegree(v) != in.newG.OutDegree(v) || st.g.InDegree(v) != in.newG.InDegree(v) {
+				changed.Set(int(v))
+			}
+		}
+	}
+	var patchList []int
+	changed.Range(func(v int) { patchList = append(patchList, v) })
+
+	partsOf := func(v graph.VertexID) []int32 {
+		var out []int32
+		for p := 0; p < k; p++ {
+			if finalSets[p].Get(int(v)) {
+				out = append(out, int32(p))
+			}
+		}
+		return out
+	}
+
+	// Phase 2: affected parts rebuild from their buckets; untouched
+	// parts covering a changed vertex get copy-on-write row patches;
+	// everything else is carried over by pointer. Old subgraphs are
+	// never written — jobs on earlier epochs keep reading them.
+	newSubs := make([]*bsp.Subgraph, k)
+	var rebuilt, patched, reused atomic.Int64
+	err := runParts(st.par, k, func(p int) error {
+		if in.affected[p] {
+			sub, err := bsp.BuildPart(in.newG, p, k, in.bucket(p), finalSets[p], partsOf, nil)
+			if err != nil {
+				return err
+			}
+			newSubs[p] = sub
+			rebuilt.Add(1)
+			return nil
+		}
+		old := st.subs[p]
+		var rows []int32
+		for _, v := range patchList {
+			if l, ok := old.LocalOf(graph.VertexID(v)); ok {
+				rows = append(rows, l)
+			}
+		}
+		if len(rows) == 0 {
+			newSubs[p] = old
+			reused.Add(1)
+			return nil
+		}
+		dup := *old
+		dup.ReplicaPeers = slices.Clone(old.ReplicaPeers)
+		dup.GlobalOutDegree = slices.Clone(old.GlobalOutDegree)
+		dup.GlobalInDegree = slices.Clone(old.GlobalInDegree)
+		for _, l := range rows {
+			gid := dup.GlobalIDs[l]
+			dup.GlobalOutDegree[l] = int32(in.newG.OutDegree(gid))
+			dup.GlobalInDegree[l] = int32(in.newG.InDegree(gid))
+			all := partsOf(gid)
+			if len(all) > 1 {
+				peers := make([]int32, 0, len(all)-1)
+				for _, q := range all {
+					if int(q) != p {
+						peers = append(peers, q)
+					}
+				}
+				dup.ReplicaPeers[l] = peers
+			} else {
+				dup.ReplicaPeers[l] = nil
+			}
+		}
+		newSubs[p] = &dup
+		patched.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	in.res.PartsRebuilt = int(rebuilt.Load())
+	in.res.PartsPatched = int(patched.Load())
+	in.res.PartsReused = int(reused.Load())
+	return newSubs, finalSets, nil
+}
+
+// Repartition runs a full EBV repartition of the current graph and swaps
+// the rebuilt subgraphs in as a new epoch, resetting the RF baseline —
+// the manual form of AutoRepartition.
+func (st *State) Repartition(ctx context.Context, swap func([]*bsp.Subgraph) (uint64, error)) (uint64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.repartitionLocked(ctx); err != nil {
+		return 0, err
+	}
+	epoch, err := swap(st.subs)
+	if err != nil {
+		return 0, fmt.Errorf("live: swap epoch: %w", err)
+	}
+	st.stats.Epoch = epoch
+	st.stats.Repartitions++
+	return epoch, nil
+}
+
+// repartitionLocked recomputes the assignment of the current graph with
+// the core EBV partitioner, rebuilds every part and resets the baseline.
+func (st *State) repartitionLocked(ctx context.Context) error {
+	a, err := core.New().PartitionCtx(ctx, st.g, st.k)
+	if err != nil {
+		return err
+	}
+	subs, err := bsp.BuildSubgraphsParallel(st.g, a, st.par)
+	if err != nil {
+		return err
+	}
+	st.parts = slices.Clone(a.Parts)
+	st.subs = subs
+	st.replicaTotal = 0
+	for p, sub := range subs {
+		set := partition.NewBitset(st.n)
+		for _, gid := range sub.GlobalIDs {
+			set.Set(int(gid))
+		}
+		st.sets[p] = set
+		st.vcount[p] = len(sub.GlobalIDs)
+		st.ecount[p] = len(sub.Edges)
+		st.replicaTotal += len(sub.GlobalIDs)
+	}
+	st.baselineRF = st.rf()
+	st.stats.RF = st.baselineRF
+	st.stats.BaselineRF = st.baselineRF
+	st.stats.Drift = 0
+	st.stats.NeedsRepartition = false
+	return nil
+}
+
+// runParts fans fn out over the part ids [0, k) with at most workers
+// goroutines (mirrors bsp's builder fan-out; lowest-part error wins).
+func runParts(workers, k int, fn func(p int) error) error {
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 || k <= 1 {
+		for p := 0; p < k; p++ {
+			if err := fn(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, k)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= k {
+					return
+				}
+				errs[p] = fn(p)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// subgraphsEqual deep-compares two subgraphs field by field, CSRs
+// included — the byte-identity check between the patch and rebuild paths.
+func subgraphsEqual(a, b *bsp.Subgraph) bool {
+	if a.Part != b.Part || a.NumWorkers != b.NumWorkers ||
+		a.NumGlobalVertices != b.NumGlobalVertices {
+		return false
+	}
+	if !slices.Equal(a.GlobalIDs, b.GlobalIDs) || !slices.Equal(a.Edges, b.Edges) {
+		return false
+	}
+	if !slices.Equal(a.GlobalOutDegree, b.GlobalOutDegree) ||
+		!slices.Equal(a.GlobalInDegree, b.GlobalInDegree) ||
+		!slices.Equal(a.Weights, b.Weights) {
+		return false
+	}
+	if len(a.ReplicaPeers) != len(b.ReplicaPeers) {
+		return false
+	}
+	for l := range a.ReplicaPeers {
+		if !slices.Equal(a.ReplicaPeers[l], b.ReplicaPeers[l]) {
+			return false
+		}
+	}
+	return csrEqual(a.Out, b.Out) && csrEqual(a.In, b.In)
+}
+
+func csrEqual(a, b *graph.CSR) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		if !slices.Equal(a.Neighbors(graph.VertexID(v)), b.Neighbors(graph.VertexID(v))) ||
+			!slices.Equal(a.EdgeIndices(graph.VertexID(v)), b.EdgeIndices(graph.VertexID(v))) {
+			return false
+		}
+	}
+	return true
+}

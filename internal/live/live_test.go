@@ -1,0 +1,347 @@
+// Equivalence and atomicity tests for the live mutation layer: every
+// incremental patch cross-checked against a full rebuild (the VerifyPatches
+// harness), atomic rejection, determinism across replays, and the RF-drift
+// repartition guard.
+package live
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ebv/internal/bsp"
+	"ebv/internal/core"
+	"ebv/internal/gen"
+	"ebv/internal/graph"
+)
+
+// liveGraph is the shared deterministic test graph.
+func liveGraph(t testing.TB, vertices, edges int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{
+		NumVertices: vertices, NumEdges: edges, Eta: 2.2, Directed: true, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// buildLive partitions g, builds its subgraphs and attaches a State plus a
+// counting stand-in for Deployment.Swap.
+func buildLive(t testing.TB, g *graph.Graph, k int, cfg Config) (*State, func([]*bsp.Subgraph) (uint64, error)) {
+	t.Helper()
+	a, err := core.New().Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := bsp.BuildSubgraphsParallel(g, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(g, a, subs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epoch uint64
+	return st, func([]*bsp.Subgraph) (uint64, error) { epoch++; return epoch, nil }
+}
+
+// splitmix64 is the tests' tiny deterministic RNG.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// randomStream builds batches of mixed inserts and deletes against the
+// state's evolving edge list; deletes always name edges present before
+// their batch (each pre-batch index claimed at most once).
+func randomStream(st *State, rng *splitmix64, batches, perBatch int) [][]Mutation {
+	g, _, _ := st.Snapshot()
+	edges := append([]graph.Edge(nil), g.Edges()...)
+	n := g.NumVertices()
+	out := make([][]Mutation, 0, batches)
+	for b := 0; b < batches; b++ {
+		muts := make([]Mutation, 0, perBatch)
+		used := make(map[int]bool)
+		var inserted []graph.Edge
+		for i := 0; i < perBatch; i++ {
+			if j := int(rng.next() % uint64(len(edges))); rng.next()%4 == 0 && !used[j] {
+				used[j] = true
+				muts = append(muts, Mutation{Op: OpDelete, Src: edges[j].Src, Dst: edges[j].Dst})
+				continue
+			}
+			e := graph.Edge{
+				Src: graph.VertexID(rng.next() % uint64(n)),
+				Dst: graph.VertexID(rng.next() % uint64(n)),
+			}
+			muts = append(muts, Mutation{Op: OpInsert, Src: e.Src, Dst: e.Dst})
+			inserted = append(inserted, e)
+		}
+		next := edges[:0:0]
+		for j, e := range edges {
+			if !used[j] {
+				next = append(next, e)
+			}
+		}
+		edges = append(next, inserted...)
+		out = append(out, muts)
+	}
+	return out
+}
+
+// TestApplyPatchVerifiedAcrossPolicies streams random mixed batches with
+// VerifyPatches on under each streaming policy: any divergence between the
+// incremental patch and a full rebuild fails the Apply.
+func TestApplyPatchVerifiedAcrossPolicies(t *testing.T) {
+	for _, name := range []string{"ebv", "hdrf", "fennel"} {
+		t.Run(name, func(t *testing.T) {
+			policy, err := PolicyByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := liveGraph(t, 500, 3000, 7)
+			st, swap := buildLive(t, g, 6, Config{Policy: policy, VerifyPatches: true})
+			rng := splitmix64(99)
+			for i, batch := range randomStream(st, &rng, 8, 40) {
+				res, err := st.Apply(context.Background(), batch, swap)
+				if err != nil {
+					t.Fatalf("batch %d: %v", i, err)
+				}
+				if res.Epoch != uint64(i+1) {
+					t.Fatalf("batch %d: epoch %d, want %d", i, res.Epoch, i+1)
+				}
+				if got := res.PartsRebuilt + res.PartsPatched + res.PartsReused; got != 6 {
+					t.Fatalf("batch %d: parts accounting sums to %d, want 6", i, got)
+				}
+			}
+			stats := st.Stats()
+			if stats.Batches != 8 || stats.FullRebuilds != 0 {
+				t.Fatalf("stats: %d batches (%d full rebuilds), want 8 patched", stats.Batches, stats.FullRebuilds)
+			}
+		})
+	}
+}
+
+// TestApplyForceRebuildMatchesPatch replays the same stream through a
+// patching state and a ForceRebuild state: the resulting subgraphs must be
+// identical (the two paths are interchangeable by construction).
+func TestApplyForceRebuildMatchesPatch(t *testing.T) {
+	g := liveGraph(t, 400, 2500, 13)
+	patchSt, patchSwap := buildLive(t, g, 5, Config{})
+	rebuildSt, rebuildSwap := buildLive(t, g, 5, Config{ForceRebuild: true})
+	rng := splitmix64(5)
+	stream := randomStream(patchSt, &rng, 5, 30)
+	for i, batch := range stream {
+		if _, err := patchSt.Apply(context.Background(), batch, patchSwap); err != nil {
+			t.Fatalf("patch batch %d: %v", i, err)
+		}
+		res, err := rebuildSt.Apply(context.Background(), batch, rebuildSwap)
+		if err != nil {
+			t.Fatalf("rebuild batch %d: %v", i, err)
+		}
+		if !res.FullRebuild {
+			t.Fatalf("rebuild batch %d: FullRebuild not set", i)
+		}
+	}
+	for p := range patchSt.subs {
+		if !subgraphsEqual(patchSt.subs[p], rebuildSt.subs[p]) {
+			t.Fatalf("part %d differs between patch and forced-rebuild paths", p)
+		}
+	}
+}
+
+// TestApplyDeterministic replays one stream into two states built from the
+// same preparation: the final graphs, assignments and subgraphs must match
+// exactly (online assignment is deterministic, lowest-index tie-break).
+func TestApplyDeterministic(t *testing.T) {
+	g := liveGraph(t, 400, 2500, 21)
+	a, swapA := buildLive(t, g, 4, Config{})
+	b, swapB := buildLive(t, g, 4, Config{})
+	rng := splitmix64(17)
+	for i, batch := range randomStream(a, &rng, 6, 25) {
+		if _, err := a.Apply(context.Background(), batch, swapA); err != nil {
+			t.Fatalf("a batch %d: %v", i, err)
+		}
+		if _, err := b.Apply(context.Background(), batch, swapB); err != nil {
+			t.Fatalf("b batch %d: %v", i, err)
+		}
+	}
+	ga, aa, _ := a.Snapshot()
+	gb, ab, _ := b.Snapshot()
+	if ga.NumEdges() != gb.NumEdges() {
+		t.Fatalf("edge counts diverge: %d vs %d", ga.NumEdges(), gb.NumEdges())
+	}
+	for i := range aa.Parts {
+		if aa.Parts[i] != ab.Parts[i] {
+			t.Fatalf("assignment diverges at edge %d: %d vs %d", i, aa.Parts[i], ab.Parts[i])
+		}
+	}
+	for p := range a.subs {
+		if !subgraphsEqual(a.subs[p], b.subs[p]) {
+			t.Fatalf("part %d diverges between identical replays", p)
+		}
+	}
+}
+
+// TestApplyRejectsAtomically checks that a batch failing validation — an
+// absent-edge delete or an out-of-range endpoint — leaves the state
+// untouched even when earlier mutations in the batch were valid.
+func TestApplyRejectsAtomically(t *testing.T) {
+	g := liveGraph(t, 300, 1500, 3)
+	st, swap := buildLive(t, g, 4, Config{})
+	before, beforeAssign, _ := st.Snapshot()
+
+	// (n-1, n-1) self-loop is almost surely absent from a power-law draw;
+	// make sure, then delete it.
+	absent := graph.Edge{Src: graph.VertexID(g.NumVertices() - 1), Dst: graph.VertexID(g.NumVertices() - 1)}
+	for _, e := range g.Edges() {
+		if e == absent {
+			t.Skip("unlucky draw: probe edge exists")
+		}
+	}
+	batches := [][]Mutation{
+		{{Op: OpInsert, Src: 0, Dst: 1}, {Op: OpDelete, Src: absent.Src, Dst: absent.Dst}},
+		{{Op: OpInsert, Src: 0, Dst: graph.VertexID(g.NumVertices())}},
+		{{Op: 9, Src: 0, Dst: 1}},
+	}
+	for i, batch := range batches {
+		if _, err := st.Apply(context.Background(), batch, swap); !errors.Is(err, ErrRejected) {
+			t.Fatalf("batch %d: err = %v, want ErrRejected", i, err)
+		}
+	}
+	after, afterAssign, epoch := st.Snapshot()
+	if after != before || epoch != 0 {
+		t.Fatalf("rejected batches changed the graph (epoch %d)", epoch)
+	}
+	for i := range beforeAssign.Parts {
+		if beforeAssign.Parts[i] != afterAssign.Parts[i] {
+			t.Fatalf("rejected batches changed the assignment at edge %d", i)
+		}
+	}
+	if stats := st.Stats(); stats.Batches != 0 || stats.Inserts != 0 || stats.Deletes != 0 {
+		t.Fatalf("rejected batches counted in stats: %+v", stats)
+	}
+}
+
+// TestApplyEmptyBatch is a committed no-op: no epoch bump, all parts
+// reused.
+func TestApplyEmptyBatch(t *testing.T) {
+	g := liveGraph(t, 200, 800, 5)
+	st, swap := buildLive(t, g, 4, Config{})
+	res, err := st.Apply(context.Background(), nil, swap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 0 || res.PartsReused != 4 {
+		t.Fatalf("empty batch: %+v", res)
+	}
+}
+
+// TestNewStateRejectsWeighted: the v1 mutation stream carries no weights,
+// so weighted builds must refuse the layer outright.
+func TestNewStateRejectsWeighted(t *testing.T) {
+	g := liveGraph(t, 200, 800, 5)
+	a, err := core.New().Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := bsp.BuildSubgraphsWeighted(g, a, graph.UniformWeights(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewState(g, a, subs, Config{}); err == nil {
+		t.Fatal("NewState accepted a weighted build")
+	}
+}
+
+// TestDriftFlagAndAutoRepartition drives RF up with replica-heavy inserts
+// under a tiny threshold: the flag-only state reports NeedsRepartition,
+// the auto state repartitions inline and resets the drift baseline.
+func TestDriftFlagAndAutoRepartition(t *testing.T) {
+	g := liveGraph(t, 300, 1500, 9)
+	flag, flagSwap := buildLive(t, g, 4, Config{DriftThreshold: 1e-6})
+	auto, autoSwap := buildLive(t, g, 4, Config{DriftThreshold: 1e-6, AutoRepartition: true})
+
+	// Round-robin inserts of one hub against many spokes inflate the
+	// hub's replica set and with it the RF.
+	var muts []Mutation
+	for i := 1; i < 120; i++ {
+		muts = append(muts, Mutation{Op: OpInsert, Src: 0, Dst: graph.VertexID(i)})
+	}
+	flagRes, err := flag.Apply(context.Background(), muts, flagSwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flagRes.NeedsRepartition {
+		t.Fatalf("drift %g never tripped the 1e-6 threshold", flagRes.Drift)
+	}
+	if flagRes.Repartitioned || flag.Stats().Repartitions != 0 {
+		t.Fatal("flag-only state repartitioned")
+	}
+
+	autoRes, err := auto.Apply(context.Background(), muts, autoSwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !autoRes.Repartitioned {
+		t.Fatalf("auto state did not repartition (drift %g)", autoRes.Drift)
+	}
+	if autoRes.NeedsRepartition || autoRes.Drift != 0 {
+		t.Fatalf("auto repartition left drift %g flagged", autoRes.Drift)
+	}
+	if stats := auto.Stats(); stats.Repartitions != 1 || stats.Drift != 0 {
+		t.Fatalf("auto stats after repartition: %+v", stats)
+	}
+}
+
+// TestRepartitionResetsBaseline exercises the manual Repartition: a new
+// epoch, a fresh baseline, and a subgraph set equivalent to a from-scratch
+// EBV build of the current graph.
+func TestRepartitionResetsBaseline(t *testing.T) {
+	g := liveGraph(t, 300, 1500, 15)
+	st, swap := buildLive(t, g, 4, Config{})
+	var muts []Mutation
+	for i := 1; i < 60; i++ {
+		muts = append(muts, Mutation{Op: OpInsert, Src: 0, Dst: graph.VertexID(i)})
+	}
+	if _, err := st.Apply(context.Background(), muts, swap); err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := st.Repartition(context.Background(), swap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("repartition epoch %d, want 2", epoch)
+	}
+	stats := st.Stats()
+	if stats.Drift != 0 || stats.RF != stats.BaselineRF {
+		t.Fatalf("repartition did not reset the baseline: %+v", stats)
+	}
+
+	cur, a, _ := st.Snapshot()
+	fresh, err := core.New().Partition(cur, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshSubs, err := bsp.BuildSubgraphsParallel(cur, fresh, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != fresh.Parts[i] {
+			t.Fatalf("repartitioned assignment differs from a fresh EBV run at edge %d", i)
+		}
+	}
+	for p := range freshSubs {
+		if !subgraphsEqual(st.subs[p], freshSubs[p]) {
+			t.Fatalf("repartitioned part %d differs from a fresh build", p)
+		}
+	}
+}

@@ -37,6 +37,15 @@ type GraphSpec struct {
 	// Combine enables each program's declared message combiner for every
 	// job served on this graph.
 	Combine bool
+	// StatsRetention overrides the session's per-job stats ring capacity
+	// (0 keeps the session default; negative = unlimited).
+	StatsRetention int
+	// MutationPolicy names the streaming assignment policy for live
+	// mutation batches: "ebv" (default), "hdrf" or "fennel".
+	MutationPolicy string
+	// VerifyMutations cross-checks every incremental patch against a full
+	// rebuild (slow; CI smoke tests).
+	VerifyMutations bool
 }
 
 // pipeline builds the spec's prepare-once pipeline.
@@ -62,6 +71,15 @@ func (gs GraphSpec) pipeline() (*ebv.Pipeline, error) {
 	}
 	if gs.Combine {
 		opts = append(opts, ebv.CombineMessages())
+	}
+	if gs.StatsRetention != 0 {
+		opts = append(opts, ebv.JobStatsRetention(gs.StatsRetention))
+	}
+	if gs.MutationPolicy != "" {
+		opts = append(opts, ebv.MutationPolicy(gs.MutationPolicy))
+	}
+	if gs.VerifyMutations {
+		opts = append(opts, ebv.VerifyMutations())
 	}
 	return ebv.NewPipeline(opts...), nil
 }
@@ -331,7 +349,12 @@ type graphState struct {
 	Edges             int     `json:"edges,omitempty"`
 	ReplicationFactor float64 `json:"replication_factor,omitempty"`
 	PrepareMS         float64 `json:"prepare_ms,omitempty"`
-	JobsServed        int     `json:"jobs_served,omitempty"`
+	// JobsServed is the total-ever counter — it keeps counting past the
+	// session's per-job stats retention window.
+	JobsServed int `json:"jobs_served,omitempty"`
+	// Epoch is the session's deployment epoch: 0 until the first applied
+	// mutation batch, then incremented per batch (and per repartition).
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Stats is the session's full accounting (per-job rows included) —
 	// only populated on request (GET /v1/graphs?stats=1), since the job
 	// list grows with every served job.
@@ -367,6 +390,7 @@ func (c *sessionCache) states(includeStats bool) []graphState {
 				stats := e.session.Stats()
 				st.PrepareMS = 1000 * stats.PrepareTime.Seconds()
 				st.JobsServed = stats.JobsServed
+				st.Epoch = e.session.Epoch()
 				if includeStats {
 					st.Stats = &stats
 				}

@@ -249,6 +249,67 @@ func (g *Gauge) render(w io.Writer) error {
 	return err
 }
 
+// GaugeVec is a gauge family keyed by one label.
+type GaugeVec struct {
+	name, help, label string
+	mu                sync.Mutex
+	children          map[string]*atomic.Uint64 // float64 bits
+}
+
+// NewGaugeVec registers a one-label gauge family.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	gv := &GaugeVec{name: name, help: help, label: label, children: make(map[string]*atomic.Uint64)}
+	r.register(name, gv)
+	return gv
+}
+
+func (gv *GaugeVec) child(value string) *atomic.Uint64 {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	g := gv.children[value]
+	if g == nil {
+		g = new(atomic.Uint64)
+		gv.children[value] = g
+	}
+	return g
+}
+
+// Set stores v for the given label value.
+func (gv *GaugeVec) Set(value string, v float64) { gv.child(value).Store(math.Float64bits(v)) }
+
+// Value returns the child's current value (0 if never set).
+func (gv *GaugeVec) Value(value string) float64 {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	if g := gv.children[value]; g != nil {
+		return math.Float64frombits(g.Load())
+	}
+	return 0
+}
+
+func (gv *GaugeVec) render(w io.Writer) error {
+	if err := writeHeader(w, gv.name, gv.help, "gauge"); err != nil {
+		return err
+	}
+	gv.mu.Lock()
+	values := make([]string, 0, len(gv.children))
+	for v := range gv.children {
+		values = append(values, v)
+	}
+	vals := make(map[string]float64, len(gv.children))
+	for v, g := range gv.children {
+		vals[v] = math.Float64frombits(g.Load())
+	}
+	gv.mu.Unlock()
+	sort.Strings(values)
+	for _, v := range values {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", gv.name, gv.label, v, formatValue(vals[v])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // defaultLatencyBuckets spans 1 ms … 60 s — a superstep on a prepared
 // small graph lands in the first few, a cold-cache job or a saturated
 // queue in the tail.
@@ -406,6 +467,14 @@ type serveMetrics struct {
 	cacheMiss  *Counter    // ebv_serve_cache_misses_total
 	cacheEvict *Counter    // ebv_serve_cache_evictions_total
 
+	liveMutations *CounterVec // ebv_live_mutations_total{op}
+	liveBatches   *Counter    // ebv_live_batches_total
+	livePatches   *Counter    // ebv_live_patch_total
+	liveRebuilds  *Counter    // ebv_live_rebuild_total
+	liveRF        *GaugeVec   // ebv_live_replication_factor{graph}
+	liveDrift     *GaugeVec   // ebv_live_rf_drift{graph}
+	liveNeedsRep  *GaugeVec   // ebv_live_repartition_needed{graph}
+
 	queued   atomic.Int64 // admitted, waiting for a run slot
 	inflight atomic.Int64 // holding a run slot
 }
@@ -441,5 +510,19 @@ func newServeMetrics() *serveMetrics {
 		"Job requests that triggered a session warm-up.")
 	m.cacheEvict = r.NewCounter("ebv_serve_cache_evictions_total",
 		"Sessions evicted from the cache (drained, then closed).")
+	m.liveMutations = r.NewCounterVec("ebv_live_mutations_total",
+		"Edge mutations applied to live sessions, by op (insert, delete).", "op")
+	m.liveBatches = r.NewCounter("ebv_live_batches_total",
+		"Mutation batches applied to live sessions.")
+	m.livePatches = r.NewCounter("ebv_live_patch_total",
+		"Mutation batches absorbed by the incremental subgraph-patch path.")
+	m.liveRebuilds = r.NewCounter("ebv_live_rebuild_total",
+		"Mutation batches that fell back to a full subgraph rebuild.")
+	m.liveRF = r.NewGaugeVec("ebv_live_replication_factor",
+		"Current replication factor of each live graph after its latest batch.", "graph")
+	m.liveDrift = r.NewGaugeVec("ebv_live_rf_drift",
+		"Relative RF drift of each live graph versus its partition-time baseline.", "graph")
+	m.liveNeedsRep = r.NewGaugeVec("ebv_live_repartition_needed",
+		"1 when a live graph's RF drift exceeds the configured threshold, else 0.", "graph")
 	return m
 }

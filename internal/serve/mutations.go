@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ebv"
+)
+
+// MutationItem is one edge mutation in the JSON request body.
+type MutationItem struct {
+	// Op is "insert" or "delete".
+	Op string `json:"op"`
+	// Src and Dst are the edge's global vertex ids.
+	Src int64 `json:"src"`
+	Dst int64 `json:"dst"`
+}
+
+// MutationRequest is the POST /v1/graphs/{g}/mutations JSON body. The
+// endpoint alternatively accepts the binary EBVL batch framing directly
+// (Content-Type application/x-ebv-mutations or application/octet-stream),
+// which is what ebv-bench's stream generator ships.
+type MutationRequest struct {
+	Mutations []MutationItem `json:"mutations"`
+	// TimeoutMS bounds the batch end to end (0 selects the server
+	// default; values above the server cap are clamped to it).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// MutationResponse is the success body: the graph name plus the batch's
+// ApplyResult (epoch, per-part patch breakdown, RF drift).
+type MutationResponse struct {
+	Graph string `json:"graph"`
+	ebv.ApplyResult
+}
+
+// maxMutationBody bounds a mutation request body: 64 MB covers the EBVL
+// framing of a full 16M-mutation batch with room for JSON overhead on
+// smaller ones.
+const maxMutationBody = 64 << 20
+
+// decodeMutationBody parses the request body in either accepted framing.
+func decodeMutationBody(w http.ResponseWriter, r *http.Request) ([]ebv.Mutation, int, error) {
+	body := http.MaxBytesReader(w, r.Body, maxMutationBody)
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.TrimSpace(ct) {
+	case "application/x-ebv-mutations", "application/octet-stream":
+		raw, err := io.ReadAll(body)
+		if err != nil {
+			return nil, 0, fmt.Errorf("read mutation batch: %w", err)
+		}
+		muts, err := ebv.DecodeMutations(raw)
+		return muts, 0, err
+	}
+	var req MutationRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return nil, 0, fmt.Errorf("bad mutation request: %w", err)
+	}
+	muts := make([]ebv.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		var op ebv.MutationOp
+		switch m.Op {
+		case "insert":
+			op = ebv.OpInsert
+		case "delete":
+			op = ebv.OpDelete
+		default:
+			return nil, 0, fmt.Errorf("mutation %d: unknown op %q (want insert or delete)", i, m.Op)
+		}
+		if m.Src < 0 || m.Dst < 0 {
+			return nil, 0, fmt.Errorf("mutation %d: negative vertex id", i)
+		}
+		muts[i] = ebv.Mutation{Op: op, Src: ebv.VertexID(m.Src), Dst: ebv.VertexID(m.Dst)}
+	}
+	return muts, req.TimeoutMS, nil
+}
+
+// handleMutations is POST /v1/graphs/{g}/mutations: decode → admit (same
+// queue as jobs — a mutation batch competes with queries for capacity) →
+// acquire the graph session and a run slot → Session.Apply → respond.
+func (s *Server) handleMutations(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.metrics.rejected.Inc("draining")
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	name := r.PathValue("g")
+	if !s.cache.hasGraph(name) {
+		httpError(w, http.StatusNotFound, "%v %q", ErrUnknownGraph, name)
+		return
+	}
+	muts, timeoutMS, err := decodeMutationBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.metrics.rejected.Inc("queue_full")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		httpError(w, http.StatusTooManyRequests, "job queue full (%d admitted)", cap(s.queue))
+		return
+	}
+	s.metrics.admitted.Inc()
+	s.metrics.queued.Add(1)
+	s.jobs.Add(1)
+	defer func() {
+		<-s.queue
+		s.jobs.Done()
+	}()
+
+	timeout := s.cfg.jobTimeout()
+	if timeoutMS > 0 {
+		if t := time.Duration(timeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	handle, err := s.cache.acquire(ctx, name)
+	if err != nil {
+		s.metrics.queued.Add(-1)
+		s.mutationFailed(w, name, err)
+		return
+	}
+	defer handle.release()
+
+	// A global run slot: applying a batch rebuilds subgraphs in parallel
+	// and deserves the same capacity accounting as a job's supersteps.
+	if err := acquireSlot(ctx, s.global); err != nil {
+		s.metrics.queued.Add(-1)
+		s.mutationFailed(w, name, err)
+		return
+	}
+	defer func() { <-s.global }()
+
+	s.metrics.queued.Add(-1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	res, err := handle.session.Apply(ctx, muts)
+	if err != nil {
+		s.mutationFailed(w, name, err)
+		return
+	}
+	s.metrics.liveBatches.Inc()
+	s.metrics.liveMutations.Add("insert", int64(res.Inserted))
+	s.metrics.liveMutations.Add("delete", int64(res.Deleted))
+	if res.FullRebuild {
+		s.metrics.liveRebuilds.Inc()
+	} else {
+		s.metrics.livePatches.Inc()
+	}
+	s.metrics.liveRF.Set(name, res.RF)
+	s.metrics.liveDrift.Set(name, res.Drift)
+	needs := 0.0
+	if res.NeedsRepartition {
+		needs = 1
+	}
+	s.metrics.liveNeedsRep.Set(name, needs)
+	writeJSON(w, MutationResponse{Graph: name, ApplyResult: *res})
+}
+
+// mutationFailed maps a mutation batch's failure to a status code.
+func (s *Server) mutationFailed(w http.ResponseWriter, graph string, err error) {
+	status, reason := http.StatusInternalServerError, "error"
+	switch {
+	case errors.Is(err, ebv.ErrMutationRejected):
+		status, reason = http.StatusBadRequest, "rejected"
+	case errors.Is(err, context.DeadlineExceeded):
+		status, reason = http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, context.Canceled):
+		status, reason = 499, "canceled"
+	case errors.Is(err, ebv.ErrSessionClosed), errors.Is(err, errCacheClosed):
+		status, reason = http.StatusServiceUnavailable, "closed"
+	}
+	s.metrics.failed.Inc(reason)
+	s.logf("serve: mutation batch on %s failed (%s): %v", graph, reason, err)
+	httpError(w, status, "%v", err)
+}

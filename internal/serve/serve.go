@@ -15,10 +15,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs    run one job (JobRequest → JobResponse)
-//	GET  /v1/graphs  list configured graphs and their cache state
-//	GET  /healthz    200 serving | 503 draining
-//	GET  /metrics    Prometheus text format
+//	POST /v1/jobs                     run one job (JobRequest → JobResponse)
+//	POST /v1/graphs/{g}/mutations     apply an edge-mutation batch (live graphs)
+//	GET  /v1/graphs                   list configured graphs and their cache state
+//	GET  /healthz                     200 serving | 503 draining
+//	GET  /metrics                     Prometheus text format
 //
 // Lifecycle: New → Handler (mount on any http.Server) → Drain (stop
 // admission) → Shutdown (wait for in-flight jobs with a deadline, then
@@ -139,6 +140,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("POST /v1/graphs/{g}/mutations", s.handleMutations)
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -106,6 +106,13 @@ type Pipeline struct {
 	materialize bool
 	parallelism int
 	valueWidth  int
+
+	retention       int // session JobStats ring capacity (0 → default)
+	retentionSet    bool
+	mutationPolicy  string
+	verifyMutations bool
+	driftThreshold  float64
+	autoRepartition bool
 }
 
 // par resolves the data-plane parallelism degree (GOMAXPROCS unless
@@ -256,6 +263,45 @@ func UseTCPLoopback() PipelineOption {
 // should not pay for); Run always builds, since the BSP stage needs them.
 func MaterializeSubgraphs() PipelineOption {
 	return func(p *Pipeline) { p.materialize = true }
+}
+
+// JobStatsRetention bounds SessionStats.Jobs to the newest n rows (a ring
+// buffer) so a long-serving session's accounting stays O(1): under
+// sustained traffic the per-job list would otherwise grow without bound.
+// JobsServed and TotalRunTime keep counting across trimmed rows. n == 0
+// selects the default (1024); negative disables trimming.
+func JobStatsRetention(n int) PipelineOption {
+	return func(p *Pipeline) { p.retention = n; p.retentionSet = true }
+}
+
+// MutationPolicy selects the streaming partitioner Session.Apply assigns
+// inserted edges with: "ebv" (the default — the paper's evaluation
+// function in streaming form), "hdrf" or "fennel". Unknown names fail
+// Open.
+func MutationPolicy(name string) PipelineOption {
+	return func(p *Pipeline) { p.mutationPolicy = name }
+}
+
+// VerifyMutations makes every Session.Apply cross-check its incremental
+// subgraph patch against a full part-parallel rebuild and reject the
+// batch on any divergence. Full-rebuild cost per batch — a correctness
+// harness for tests and smoke runs, not a production setting.
+func VerifyMutations() PipelineOption {
+	return func(p *Pipeline) { p.verifyMutations = true }
+}
+
+// RepartitionDrift sets the relative replication-factor growth over the
+// post-Open baseline at which Session.Apply flags NeedsRepartition
+// (0 keeps the default of 0.2; negative disables the check). With
+// autoRepartition, crossing the threshold triggers a full EBV
+// repartition + rebuild inline at that apply boundary, resetting the
+// baseline — the live form of the paper's Fig. 5 replication-growth
+// guard.
+func RepartitionDrift(threshold float64, autoRepartition bool) PipelineOption {
+	return func(p *Pipeline) {
+		p.driftThreshold = threshold
+		p.autoRepartition = autoRepartition
+	}
 }
 
 // emit reports a stage event to the progress callback, if any.

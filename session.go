@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ebv/internal/bsp"
+	"ebv/internal/live"
 	"ebv/internal/transport"
 )
 
@@ -43,12 +44,19 @@ type Session struct {
 	runOpts    []RunOption
 	valueWidth int
 	progress   func(PipelineProgress)
+	retention  int // max JobStats rows retained (see JobStatsRetention)
+	liveCfg    live.Config
 
-	mu      sync.Mutex // guards closed, nextJob, jobs, totalRun
-	closed  bool
-	nextJob int
-	jobs    []JobStats
-	emitMu  sync.Mutex // serializes progress callbacks across concurrent jobs
+	mu         sync.Mutex // guards closed, nextJob, jobs, jobsServed, totalRun
+	closed     bool
+	nextJob    int
+	jobs       []JobStats // completion-order ring, trimmed to retention
+	jobsServed int        // total ever, survives trimming
+	totalRun   time.Duration
+	emitMu     sync.Mutex // serializes progress callbacks across concurrent jobs
+
+	liveMu    sync.Mutex // serializes Apply/Repartition (lazy live-state init)
+	liveState *live.State
 }
 
 // JobResult is the outcome of one Session.Run job. The tagged fields form
@@ -94,8 +102,16 @@ type JobStats struct {
 // preparation cost and every served job's latency, from which the
 // amortization story (first job vs steady state) can be read directly.
 type SessionStats struct {
-	// JobsServed counts successfully completed jobs.
+	// JobsServed counts every successfully completed job over the
+	// session's lifetime — it keeps counting after Jobs is trimmed to
+	// the retention cap, so it is the total-served counter of record.
 	JobsServed int `json:"jobs_served"`
+	// JobsRetained is len(Jobs): the rows still inside the retention
+	// window (== JobsServed until the ring wraps).
+	JobsRetained int `json:"jobs_retained"`
+	// JobsRetention is the ring capacity Jobs is trimmed to
+	// (JobStatsRetention; <= 0 means unlimited).
+	JobsRetention int `json:"jobs_retention"`
 	// LoadTime, PartitionTime and BuildTime are the one-time preparation
 	// stage costs paid by Open (JSON: nanoseconds, stable lowercase tags).
 	LoadTime      time.Duration `json:"load_time"`
@@ -104,13 +120,15 @@ type SessionStats struct {
 	// PrepareTime is their sum — the cost every job would re-pay without
 	// the session.
 	PrepareTime time.Duration `json:"prepare_time"`
-	// TotalRunTime sums the served jobs' wall-clock times.
+	// TotalRunTime sums every served job's wall-clock time, trimmed
+	// rows included.
 	TotalRunTime time.Duration `json:"total_run_time"`
-	// Jobs lists the served jobs in completion order.
+	// Jobs lists the retained jobs in completion order (the newest
+	// JobsRetention of them).
 	Jobs []JobStats `json:"jobs"`
 }
 
-// FirstRunTime returns the first served job's wall time (cold caches,
+// FirstRunTime returns the first retained job's wall time (cold caches,
 // lazily-created frame writers) — compare with SteadyStateRunTime.
 func (s SessionStats) FirstRunTime() time.Duration {
 	if len(s.Jobs) == 0 {
@@ -161,6 +179,19 @@ func (p *Pipeline) Open(ctx context.Context) (*Session, error) {
 			return nil, fmt.Errorf("ebv: pipeline tcp deployment: %w", err)
 		}
 	}
+	policy, err := live.PolicyByName(p.mutationPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("ebv: pipeline: %w", err)
+	}
+	retention := defaultJobStatsRetention
+	if p.retentionSet {
+		switch {
+		case p.retention > 0:
+			retention = p.retention
+		case p.retention < 0:
+			retention = 0 // unlimited
+		}
+	}
 	dep, err := bsp.NewDeployment(res.Subgraphs, mesh)
 	if err != nil {
 		if mesh != nil {
@@ -174,8 +205,22 @@ func (p *Pipeline) Open(ctx context.Context) (*Session, error) {
 		runOpts:    slices.Clone(p.runOpts),
 		valueWidth: p.valueWidth,
 		progress:   p.progress,
+		retention:  retention,
+		liveCfg: live.Config{
+			Policy:          policy,
+			VerifyPatches:   p.verifyMutations,
+			DriftThreshold:  p.driftThreshold,
+			AutoRepartition: p.autoRepartition,
+			Parallelism:     p.parallelism,
+		},
 	}, nil
 }
+
+// defaultJobStatsRetention is the JobStats ring capacity when
+// JobStatsRetention is not given: large enough that interactive sessions
+// and the test suite never see trimming, small enough that a session
+// serving millions of jobs stays O(1).
+const defaultJobStatsRetention = 1024
 
 // Prepared returns the artifacts Open produced: the graph, assignment,
 // metrics, subgraphs and per-stage timings (BSP is nil — jobs return their
@@ -260,6 +305,11 @@ func (s *Session) Run(ctx context.Context, prog Program, opts ...RunOption) (*Jo
 		Counts:     jr.Counts,
 		RunTime:    took,
 	})
+	s.jobsServed++
+	s.totalRun += took
+	if s.retention > 0 && len(s.jobs) > s.retention {
+		s.jobs = slices.Delete(s.jobs, 0, len(s.jobs)-s.retention)
+	}
 	s.mu.Unlock()
 	return jr, nil
 }
@@ -269,17 +319,108 @@ func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := SessionStats{
-		JobsServed:    len(s.jobs),
+		JobsServed:    s.jobsServed,
+		JobsRetained:  len(s.jobs),
+		JobsRetention: s.retention,
 		LoadTime:      s.prepared.LoadTime,
 		PartitionTime: s.prepared.PartitionTime,
 		BuildTime:     s.prepared.BuildTime,
+		TotalRunTime:  s.totalRun,
 		Jobs:          slices.Clone(s.jobs),
 	}
 	st.PrepareTime = st.LoadTime + st.PartitionTime + st.BuildTime
-	for _, j := range st.Jobs {
-		st.TotalRunTime += j.RunTime
-	}
 	return st
+}
+
+// Apply validates and applies one mutation batch — edge inserts assigned
+// online by the session's MutationPolicy, deletes matched against the
+// current edge list — atomically between jobs: the affected subgraphs are
+// patched incrementally (full rebuild only as fallback) and swapped into
+// the deployment as a new epoch. Jobs already running finish on the
+// snapshot they started with; jobs admitted afterwards see the new graph.
+// A batch either fully applies or fully rejects (ErrMutationRejected);
+// on rejection nothing changed. Safe for concurrent use with Run; Apply
+// calls serialize with each other.
+func (s *Session) Apply(ctx context.Context, muts []Mutation) (*ApplyResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrSessionClosed
+	}
+	if err := s.initLiveLocked(); err != nil {
+		return nil, err
+	}
+	return s.liveState.Apply(ctx, muts, s.dep.Swap)
+}
+
+// Repartition forces a full EBV repartition + rebuild of the current
+// graph and swaps it in as a new epoch, resetting the replication-factor
+// drift baseline — the manual form of RepartitionDrift's auto mode.
+func (s *Session) Repartition(ctx context.Context) (uint64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return 0, ErrSessionClosed
+	}
+	if err := s.initLiveLocked(); err != nil {
+		return 0, err
+	}
+	return s.liveState.Repartition(ctx, s.dep.Swap)
+}
+
+// initLiveLocked lazily attaches the mutation layer on first use (the
+// prepared artifacts stay authoritative for frozen sessions). Callers
+// hold liveMu.
+func (s *Session) initLiveLocked() error {
+	if s.liveState != nil {
+		return nil
+	}
+	st, err := live.NewState(s.prepared.Graph, s.prepared.Assignment, s.prepared.Subgraphs, s.liveCfg)
+	if err != nil {
+		return err
+	}
+	s.liveState = st
+	return nil
+}
+
+// Epoch returns the session's current graph epoch: 0 until the first
+// Apply, then the deployment epoch of the newest committed batch.
+func (s *Session) Epoch() uint64 { return s.dep.Epoch() }
+
+// LiveStats returns the mutation layer's counters (zero value until the
+// first Apply).
+func (s *Session) LiveStats() LiveStats {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if s.liveState == nil {
+		return LiveStats{}
+	}
+	return s.liveState.Stats()
+}
+
+// LiveSnapshot returns the session's current graph, a copy of its edge
+// assignment and their epoch — for Apply-less sessions these are the
+// prepared artifacts at epoch 0. The graph is immutable once published:
+// later Applies build new ones.
+func (s *Session) LiveSnapshot() (*Graph, *Assignment, uint64) {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if s.liveState == nil {
+		return s.prepared.Graph, s.prepared.Assignment, 0
+	}
+	return s.liveState.Snapshot()
 }
 
 // Close tears the session's deployment down. In-flight jobs are released

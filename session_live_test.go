@@ -1,0 +1,249 @@
+// Tests for live sessions: streaming mutation batches into an open
+// Session must leave it computing byte-identical results to a session
+// freshly built from the final graph — on Mem and TCP transports, at
+// value widths 1 and 8 — plus atomic rejection at the Session surface
+// and the bounded job-stats ring that rides along.
+package ebv_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ebv"
+)
+
+// liveBaseAndStream derives a base graph and a mutation stream from one
+// power-law draw: the held-out tail edges become inserts and a strided
+// sample of base edges becomes deletes.
+func liveBaseAndStream(t testing.TB, vertices, baseEdges, inserts, deletes, perBatch int) (*ebv.Graph, [][]ebv.Mutation) {
+	t.Helper()
+	g, err := ebv.PowerLaw(ebv.PowerLawConfig{
+		NumVertices: vertices, NumEdges: baseEdges + inserts, Eta: 2.2, Directed: true, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := g.Edges()
+	e0 := len(all) - inserts
+	base, err := ebv.NewGraph(vertices, all[:e0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var muts []ebv.Mutation
+	for _, e := range all[e0:] {
+		muts = append(muts, ebv.Mutation{Op: ebv.OpInsert, Src: e.Src, Dst: e.Dst})
+	}
+	stride := e0 / deletes
+	for i := 0; i < deletes; i++ {
+		e := all[i*stride]
+		muts = append(muts, ebv.Mutation{Op: ebv.OpDelete, Src: e.Src, Dst: e.Dst})
+	}
+	var batches [][]ebv.Mutation
+	for len(muts) > 0 {
+		n := min(perBatch, len(muts))
+		batches = append(batches, muts[:n])
+		muts = muts[n:]
+	}
+	return base, batches
+}
+
+// TestSessionApplyMatchesFreshBuild streams mutation batches (patch
+// verification on) interleaved with jobs, then checks the streamed
+// session computes byte-identical values to a session freshly built from
+// its final graph and assignment — CC and PageRank at width 1,
+// Aggregate at width 8, on Mem and TCP.
+func TestSessionApplyMatchesFreshBuild(t *testing.T) {
+	base, batches := liveBaseAndStream(t, 1200, 7000, 1000, 250, 250)
+	for _, tc := range []struct {
+		name string
+		tcp  bool
+	}{
+		{name: "Mem"},
+		{name: "TCP", tcp: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := []ebv.PipelineOption{
+				ebv.FromGraph(base),
+				ebv.UsePartitioner(ebv.NewEBV()),
+				ebv.Subgraphs(4),
+				ebv.VerifyMutations(),
+			}
+			if tc.tcp {
+				opts = append(opts, ebv.UseTCPLoopback())
+			}
+			s, err := ebv.NewPipeline(opts...).Open(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			for i, batch := range batches {
+				res, err := s.Apply(context.Background(), batch)
+				if err != nil {
+					t.Fatalf("batch %d: %v", i, err)
+				}
+				if res.Epoch != uint64(i+1) || s.Epoch() != res.Epoch {
+					t.Fatalf("batch %d: epoch %d (session %d), want %d", i, res.Epoch, s.Epoch(), i+1)
+				}
+				// Interleave jobs so patched deployments actually serve.
+				if i%2 == 0 {
+					if _, err := s.Run(context.Background(), &ebv.CC{}); err != nil {
+						t.Fatalf("CC after batch %d: %v", i, err)
+					}
+				}
+			}
+			if st := s.LiveStats(); st.FullRebuilds != 0 || st.Batches != int64(len(batches)) {
+				t.Fatalf("live stats = %+v, want %d purely patched batches", st, len(batches))
+			}
+
+			finalG, assignment, epoch := s.LiveSnapshot()
+			if epoch != uint64(len(batches)) {
+				t.Fatalf("snapshot epoch %d, want %d", epoch, len(batches))
+			}
+			freshOpts := []ebv.PipelineOption{ebv.FromGraph(finalG), ebv.UseAssignment(assignment)}
+			if tc.tcp {
+				freshOpts = append(freshOpts, ebv.UseTCPLoopback())
+			}
+			fresh, err := ebv.NewPipeline(freshOpts...).Open(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fresh.Close()
+
+			type job struct {
+				prog ebv.Program
+				opts []ebv.RunOption
+			}
+			for _, j := range []job{
+				{prog: &ebv.CC{}},
+				{prog: &ebv.PageRank{Iterations: 8}},
+				{prog: &ebv.Aggregate{Layers: 2}, opts: []ebv.RunOption{ebv.WithValueWidth(8)}},
+			} {
+				streamed, err := s.Run(context.Background(), j.prog, j.opts...)
+				if err != nil {
+					t.Fatalf("%s on streamed session: %v", j.prog.Name(), err)
+				}
+				want, err := fresh.Run(context.Background(), j.prog, j.opts...)
+				if err != nil {
+					t.Fatalf("%s on fresh session: %v", j.prog.Name(), err)
+				}
+				if streamed.Steps != want.Steps {
+					t.Fatalf("%s: streamed %d steps, fresh %d", j.prog.Name(), streamed.Steps, want.Steps)
+				}
+				if !streamed.BSP.Values.EqualValues(want.BSP.Values) {
+					t.Fatalf("%s: streamed session values differ from fresh build", j.prog.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestSessionApplyRejectsAtomically: a batch with an absent-edge delete
+// fails with ErrMutationRejected and moves nothing — no epoch, no stats,
+// and jobs still compute on the unchanged graph.
+func TestSessionApplyRejectsAtomically(t *testing.T) {
+	g := pipelineGraph(t)
+	s, err := ebv.NewPipeline(
+		ebv.FromGraph(g), ebv.UsePartitioner(ebv.NewEBV()), ebv.Subgraphs(4),
+	).Open(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	before, err := s.Run(context.Background(), &ebv.CC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a self-loop the generator did not draw, to delete.
+	present := make(map[ebv.Edge]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		present[e] = true
+	}
+	absent := ebv.Edge{Src: 0, Dst: 0}
+	for present[absent] {
+		absent.Src++
+		absent.Dst++
+	}
+	bad := []ebv.Mutation{
+		{Op: ebv.OpInsert, Src: 0, Dst: 1},
+		{Op: ebv.OpDelete, Src: absent.Src, Dst: absent.Dst},
+	}
+	if _, err := s.Apply(context.Background(), bad); !errors.Is(err, ebv.ErrMutationRejected) {
+		t.Fatalf("Apply = %v, want ErrMutationRejected", err)
+	}
+	if s.Epoch() != 0 {
+		t.Fatalf("rejected batch bumped the epoch to %d", s.Epoch())
+	}
+	if st := s.LiveStats(); st.Batches != 0 {
+		t.Fatalf("rejected batch counted in stats: %+v", st)
+	}
+	after, err := s.Run(context.Background(), &ebv.CC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.BSP.Values.EqualValues(before.BSP.Values) {
+		t.Fatal("rejected batch changed job results")
+	}
+}
+
+// TestSessionApplyClosed: Apply on a closed session fails cleanly.
+func TestSessionApplyClosed(t *testing.T) {
+	s, err := sessionPipeline(t).Open(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(context.Background(), []ebv.Mutation{{Op: ebv.OpInsert, Src: 0, Dst: 1}}); !errors.Is(err, ebv.ErrSessionClosed) {
+		t.Fatalf("Apply on closed session = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestSessionJobStatsRetention bounds the per-job ring while the
+// total-served counter keeps counting: 10 jobs at retention 4 keep
+// exactly the last 4 entries.
+func TestSessionJobStatsRetention(t *testing.T) {
+	s, err := sessionPipeline(t, ebv.JobStatsRetention(4)).Open(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const jobs = 10
+	for i := 0; i < jobs; i++ {
+		if _, err := s.Run(context.Background(), &ebv.CC{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.JobsServed != jobs || st.JobsRetained != 4 || st.JobsRetention != 4 {
+		t.Fatalf("stats = served %d retained %d retention %d, want %d/4/4",
+			st.JobsServed, st.JobsRetained, st.JobsRetention, jobs)
+	}
+	if len(st.Jobs) != 4 {
+		t.Fatalf("len(Jobs) = %d, want 4", len(st.Jobs))
+	}
+	for i, j := range st.Jobs {
+		if j.Job != jobs-3+i {
+			t.Fatalf("retained job %d has id %d, want %d (newest-4 window)", i, j.Job, jobs-3+i)
+		}
+	}
+
+	// Unlimited retention (negative) keeps everything.
+	u, err := sessionPipeline(t, ebv.JobStatsRetention(-1)).Open(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := u.Run(context.Background(), &ebv.CC{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := u.Stats(); st.JobsServed != 6 || len(st.Jobs) != 6 || st.JobsRetention != 0 {
+		t.Fatalf("unlimited retention stats = %+v", st)
+	}
+}
