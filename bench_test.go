@@ -439,7 +439,10 @@ func (w *benchFanInWorker) Values() *graph.ValueMatrix {
 // combine axis shows sender/receiver message combining (off vs each
 // program's natural combiner), with the FANIN kernel supplying the
 // duplicate-heavy traffic where sender-side coalescing shrinks the wire.
-// The wire and delivered row counts are reported as metrics.
+// The tcp runs add a wire axis — raw (v3) vs varint (v4 compressed
+// columns) — reporting actual wire bytes moved per run as a metric (CI
+// uploads these rows as BENCH_wire.json). The wire and delivered row
+// counts are reported as metrics everywhere.
 func BenchmarkMessageDelivery(b *testing.B) {
 	g := ablationGraph(b)
 	a, err := core.New().Partition(g, 8)
@@ -460,43 +463,54 @@ func BenchmarkMessageDelivery(b *testing.B) {
 		{"AGGw8", func() bsp.Program { return &apps.Aggregate{Layers: 2} }, 8},
 		{"FANIN", func() bsp.Program { return &benchFanIn{} }, 1},
 	}
+	wireFormats := map[string]transport.WireFormat{"raw": transport.WireV3, "varint": transport.WireV4}
+	runTCP := func(b *testing.B, prog func() bsp.Program, width int, combine bool, format transport.WireFormat) {
+		var counts bsp.MessageCounts
+		var wireBytes int64
+		for i := 0; i < b.N; i++ {
+			// Mesh setup/teardown is connection plumbing, not message
+			// delivery: keep it off the clock.
+			b.StopTimer()
+			mesh, err := transport.NewTCPMeshDeployment(b.Context(), 8, transport.WithWireFormat(format))
+			if err != nil {
+				b.Fatal(err)
+			}
+			dep, err := bsp.NewDeployment(subs, mesh)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res, err := dep.Run(context.Background(), prog(), bsp.Config{ValueWidth: width, AutoCombine: combine})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			counts = res.MessageCounts()
+			wireBytes = mesh.WireBytes()
+			_ = dep.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(counts.Wire), "messages")
+		b.ReportMetric(float64(counts.Delivered), "delivered")
+		b.ReportMetric(float64(wireBytes), "wirebytes")
+	}
 	for _, tc := range cases {
-		for _, tr := range []string{"mem", "tcp"} {
-			for _, combine := range []string{"off", "auto"} {
-				b.Run(fmt.Sprintf("%s/%s/combine=%s", tc.name, tr, combine), func(b *testing.B) {
-					var counts bsp.MessageCounts
-					for i := 0; i < b.N; i++ {
-						cfg := bsp.Config{ValueWidth: tc.width, AutoCombine: combine == "auto"}
-						if tr == "tcp" {
-							// Mesh setup/teardown is connection plumbing, not
-							// message delivery: keep it off the clock.
-							b.StopTimer()
-							mesh, err := transport.NewTCPMesh(8)
-							if err != nil {
-								b.Fatal(err)
-							}
-							trs := make([]transport.Transport, 8)
-							for j := range trs {
-								trs[j] = mesh[j]
-							}
-							cfg.Transports = trs
-							b.StartTimer()
-						}
-						res, err := bsp.Run(subs, tc.prog(), cfg)
-						if err != nil {
-							b.Fatal(err)
-						}
-						counts = res.MessageCounts()
-						if len(cfg.Transports) > 0 {
-							b.StopTimer()
-							for _, t := range cfg.Transports {
-								_ = t.Close()
-							}
-							b.StartTimer()
-						}
+		for _, combine := range []string{"off", "auto"} {
+			b.Run(fmt.Sprintf("%s/mem/combine=%s", tc.name, combine), func(b *testing.B) {
+				var counts bsp.MessageCounts
+				for i := 0; i < b.N; i++ {
+					res, err := bsp.Run(subs, tc.prog(), bsp.Config{ValueWidth: tc.width, AutoCombine: combine == "auto"})
+					if err != nil {
+						b.Fatal(err)
 					}
-					b.ReportMetric(float64(counts.Wire), "messages")
-					b.ReportMetric(float64(counts.Delivered), "delivered")
+					counts = res.MessageCounts()
+				}
+				b.ReportMetric(float64(counts.Wire), "messages")
+				b.ReportMetric(float64(counts.Delivered), "delivered")
+			})
+			for _, wire := range []string{"raw", "varint"} {
+				b.Run(fmt.Sprintf("%s/tcp/wire=%s/combine=%s", tc.name, wire, combine), func(b *testing.B) {
+					runTCP(b, tc.prog, tc.width, combine == "auto", wireFormats[wire])
 				})
 			}
 		}

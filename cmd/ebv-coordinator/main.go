@@ -65,7 +65,7 @@ func run(ctx context.Context) error {
 		layers     = flag.Int("layers", 2, "AGG aggregation layers")
 		source     = flag.Uint64("source", 0, "SSSP/WSSSP source vertex")
 		width      = flag.Int("width", 1, "per-vertex value width (floats per message; must match all workers)")
-		combine    = flag.String("combine", "off", "message combining: auto (each app's natural min/sum combiner) | off")
+		combine    = flag.String("combine", "auto", "message combining: auto (each app's natural min/sum combiner, the default) | off")
 		maxSteps   = flag.Int("max-steps", 0, "superstep safety cap (0 = engine default)")
 		ckptDir    = flag.String("checkpoint-dir", "", "checkpoint directory shared with the workers (empty disables checkpointing)")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "checkpoint epoch length in supersteps (0 disables)")

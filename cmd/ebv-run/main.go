@@ -67,7 +67,7 @@ func run(ctx context.Context) error {
 		layers     = flag.Int("layers", 2, "AGG aggregation layers")
 		source     = flag.Uint64("source", 0, "SSSP source vertex")
 		width      = flag.Int("width", 1, "per-vertex value width (floats per message; AGG aggregates width-wide feature vectors)")
-		combine    = flag.String("combine", "off", "message combining: auto (each app's natural min/sum combiner) | off")
+		combine    = flag.String("combine", "auto", "message combining: auto (each app's natural min/sum combiner, the default) | off")
 		transport  = flag.String("transport", "mem", "transport: mem | tcp")
 		assignPath = flag.String("assignment", "", "load a precomputed assignment (skips partitioning)")
 		progress   = flag.Bool("progress", false, "print pipeline stage progress to stderr")

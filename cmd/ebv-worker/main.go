@@ -82,7 +82,7 @@ func run(ctx context.Context) (err error) {
 		layers  = flag.Int("layers", 2, "AGG aggregation layers")
 		source  = flag.Uint64("source", 0, "SSSP source vertex")
 		width   = flag.Int("width", 1, "per-vertex value width (floats per message; must match all workers)")
-		combine = flag.String("combine", "off", "message combining: auto (each app's natural min/sum combiner) | off")
+		combine = flag.String("combine", "auto", "message combining: auto (each app's natural min/sum combiner, the default) | off")
 		timeout = flag.Duration("dial-timeout", 30*time.Second, "total budget for dialing peers (and the coordinator), with exponential backoff")
 		outPath = flag.String("out", "", "write 'vertex value...' lines here (default stdout; standalone mode)")
 	)

@@ -257,12 +257,24 @@ type (
 	// TransportDeployment is a long-lived transport mesh serving many
 	// jobs through job-scoped exchanges (the transport half of Session).
 	TransportDeployment = transport.Deployment
+	// WireFormat selects the TCP mesh deployment's frame encoding
+	// (WireV3 raw columns, WireV4 compressed columns — the default);
+	// MeshOption configures NewTCPMeshDeployment.
+	WireFormat = transport.WireFormat
+	MeshOption = transport.MeshOption
 	// BSPDeployment is the prepare-once/serve-many engine: built subgraphs
 	// bound to a TransportDeployment, serving concurrent BSP jobs.
 	BSPDeployment = bsp.Deployment
 	// FaultInjector wraps a Transport to fail a chosen exchange — the
 	// failure-injection hook used in tests.
 	FaultInjector = transport.FaultInjector
+)
+
+// The wire formats of the TCP mesh deployment (see UseWireFormat and
+// WithWireFormat).
+const (
+	WireV3 = transport.WireV3
+	WireV4 = transport.WireV4
 )
 
 // BSP entry points and transports. The *Ctx forms take a context whose
@@ -292,9 +304,13 @@ var (
 	// facade (Pipeline.Open) wraps it.
 	NewBSPDeployment = bsp.NewDeployment
 	// NewMemDeployment / NewTCPMeshDeployment build the job-mux transport
-	// deployments backing sessions.
+	// deployments backing sessions. WithWireFormat / WithWireQuantization
+	// are NewTCPMeshDeployment's mesh options (wire encoding negotiation
+	// and the opt-in lossy mantissa transform).
 	NewMemDeployment     = transport.NewMemDeployment
 	NewTCPMeshDeployment = transport.NewTCPMeshDeployment
+	WithWireFormat       = transport.WithWireFormat
+	WithWireQuantization = transport.WithWireQuantization
 	// NewRunConfig builds a RunConfig from functional options
 	// (WithMaxSteps, WithTransports, WithValueWidth,
 	// WithReplicaVerification); the struct-literal form keeps working.

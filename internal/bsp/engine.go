@@ -519,33 +519,43 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 		}
 		resumable = r
 	}
-	// The combiner's scratch index is per-worker and lives for the whole
-	// run, serving both combining points — the sender-side coalesce of
-	// each outgoing batch and the receiver-side inbox merge — whose
-	// scopes never overlap within a step (coalescing strictly precedes
-	// Exchange, merging strictly follows it, and Begin resets the scope).
-	// Dense O(1) probes when the global id space is within 16× the local
-	// vertex count (the LocalOf density gate), a map otherwise.
+	// The combiner's per-worker scratch lives for the whole run. The
+	// sender-side coalesce of each outgoing batch probes a scratch index —
+	// dense O(1) probes when the global id space is within 16× the local
+	// vertex count (the LocalOf density gate), a map otherwise. The
+	// receiver-side inbox merge is a sorted-run merge (MergeScratch) and
+	// needs no index, so the dense index's capacity cutoff — ids beyond it
+	// pass through the coalesce uncombined — can no longer leave duplicate
+	// rows in the inbox.
 	var combIdx *transport.CombineIndex
+	var mergeScratch *transport.MergeScratch
 	if comb != nil {
 		denseSize := 0
 		if locals := sub.NumLocalVertices(); locals > 0 && sub.NumGlobalVertices <= 16*locals {
 			denseSize = sub.NumGlobalVertices
 		}
 		combIdx = transport.NewCombineIndex(denseSize)
+		mergeScratch = new(transport.MergeScratch)
 	}
-	// Sender-side combining is adaptive: after senderProbeSteps consecutive
-	// steps in which a real duplicate scan (at least senderProbeMinRows
-	// rows across coalescible batches — steps emitting only sub-2-row
-	// batches are no evidence) removed nothing (the replica-sync apps'
-	// unique-ID batches), the per-batch scan is skipped for the rest of
-	// the run. Receiver-side combining stays on.
+	// Combining is adaptive on both sides of the exchange: after
+	// senderProbeSteps consecutive steps in which a real duplicate scan
+	// (at least senderProbeMinRows rows — steps moving fewer rows are no
+	// evidence) removed nothing (the replica-sync apps' unique-ID
+	// batches), that side's work is skipped for the rest of the run. On
+	// the sender that is the per-batch coalesce scan; on the receiver it
+	// is the sorted-run inbox merge, which degrades to a k-way scan with
+	// nothing to fold when sources carry disjoint ids — plain
+	// concatenation is strictly better there, and skipping keeps
+	// `-combine=auto` within noise of plain append on the apps combining
+	// cannot help.
 	const (
 		senderProbeSteps   = 2
 		senderProbeMinRows = 8
 	)
 	senderCombine := comb != nil
+	receiverCombine := comb != nil
 	dupFreeSteps := 0
+	foldFreeSteps := 0
 	// The inbox batch concatenates the step's incoming batches; it cycles
 	// through the pool every step, so the poison debug mode scribbles it
 	// between supersteps (enforcing the "in is only valid during the
@@ -631,33 +641,51 @@ func runWorker(ctx context.Context, w int, sub *Subgraph, prog Program, tr trans
 			comm = 0
 		}
 
-		// Delivery loop: concatenate the incoming batches into the inbox
-		// (columnar bulk appends; with a combiner, duplicate-ID rows from
-		// different sources fold in source order instead) and recycle them.
+		// Delivery: build the next inbox from the incoming batches and
+		// recycle them. Without a combiner the batches concatenate with
+		// columnar bulk appends; with one, a sorted-run merge folds
+		// duplicate-ID rows across sources — per vertex, rows still fold
+		// in (source, row) arrival order, so results stay byte-identical
+		// to the uncombined scan (the inbox merely ends id-sorted instead
+		// of arrival-ordered, which no program may depend on).
 		transport.RecycleBatch(inbox)
 		inbox = transport.GetBatch(width)
-		if comb != nil {
-			combIdx.Begin()
-		}
 		var received, delivered int64
-		for src, batch := range ex.In {
-			if batch == nil {
-				continue
+		if receiverCombine {
+			if err := inbox.MergeBatchesCombining(ex.In, comb, mergeScratch); err != nil {
+				return step, nil, fmt.Errorf("superstep %d inbox merge: %w", step, err)
 			}
-			if err := batch.Check(width); err != nil {
-				return step, nil, fmt.Errorf("superstep %d from worker %d: %w", step, src, err)
+			var folded int64
+			for src, batch := range ex.In {
+				if src != w {
+					received += int64(batch.Len())
+					delivered += int64(mergeScratch.Appended[src])
+				}
+				folded += int64(batch.Len() - mergeScratch.Appended[src])
+				transport.RecycleBatch(batch)
 			}
-			n := int64(batch.Len())
-			if comb != nil {
-				n = int64(inbox.AppendBatchCombining(batch, comb, combIdx))
-			} else {
+			if folded > 0 {
+				foldFreeSteps = 0
+			} else if inbox.Len() >= senderProbeMinRows {
+				if foldFreeSteps++; foldFreeSteps >= senderProbeSteps {
+					receiverCombine = false
+				}
+			}
+		} else {
+			for src, batch := range ex.In {
+				if batch == nil {
+					continue
+				}
+				if err := batch.Check(width); err != nil {
+					return step, nil, fmt.Errorf("superstep %d from worker %d: %w", step, src, err)
+				}
 				inbox.AppendBatch(batch)
+				if src != w {
+					received += int64(batch.Len())
+					delivered += int64(batch.Len())
+				}
+				transport.RecycleBatch(batch)
 			}
-			if src != w {
-				received += int64(batch.Len())
-				delivered += n
-			}
-			transport.RecycleBatch(batch)
 		}
 
 		stats.Comp = append(stats.Comp, comp)

@@ -1,0 +1,227 @@
+// Wire-format equivalence: the v4 compressed wire must be invisible to
+// results — every app produces a byte-identical ValueMatrix over a v3 and
+// a v4 TCP mesh deployment — while cutting wire bytes at least 3x on the
+// integral-payload apps (CC, SSSP, Aggregate).
+package bsp_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ebv/internal/apps"
+	"ebv/internal/bsp"
+	"ebv/internal/core"
+	"ebv/internal/graph"
+	"ebv/internal/partition"
+	"ebv/internal/transport"
+)
+
+// runOverMesh runs prog once over a fresh TCP mesh deployment speaking
+// format f and reports the result plus the deployment's total wire bytes.
+func runOverMesh(t *testing.T, subs []*bsp.Subgraph, prog bsp.Program, width int, f transport.WireFormat) (*bsp.Result, int64) {
+	t.Helper()
+	mesh, err := transport.NewTCPMeshDeployment(t.Context(), len(subs), transport.WithWireFormat(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := bsp.NewDeployment(subs, mesh)
+	if err != nil {
+		mesh.Close()
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	res, err := dep.Run(context.Background(), prog, bsp.Config{ValueWidth: width})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, mesh.WireBytes()
+}
+
+// TestWireV4EquivalenceAllApps is the v4 acceptance matrix: every app ×
+// widths {1, 8} runs over a v3 and a v4 mesh; values must be
+// byte-identical, and the integral-payload apps must move at least 3x
+// fewer wire bytes under v4.
+func TestWireV4EquivalenceAllApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up 2 TCP meshes per app/width")
+	}
+	g := testGraphs(t)["powerlaw"]
+	const k = 3
+	a, err := core.New().Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := buildWeightedSubs(t, g, a)
+	// The integral-payload apps — labels (CC) and hop counts (SSSP) — hit
+	// the 3x target at every width via the integral fast path. PageRank
+	// and WeightedSSSP move noisy mantissas (v4 only wins the ID column
+	// at width 1) but their width-8 runs pad 7 zero columns, which pack
+	// to a descriptor byte each, clearing 3x there too. Aggregate's
+	// mean-aggregation payloads are noisy at every width (quantization is
+	// the opt-in lever); it must still never regress.
+	wantRatio := map[string]float64{
+		"CC/w1": 3, "CC/w8": 3,
+		"SSSP/w1": 3, "SSSP/w8": 3,
+		"PR/w8": 3, "WSSSP/w8": 3,
+	}
+	for _, prog := range combinerApps() {
+		for _, width := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/w%d", prog.Name(), width), func(t *testing.T) {
+				v3res, v3bytes := runOverMesh(t, subs, prog, width, transport.WireV3)
+				v4res, v4bytes := runOverMesh(t, subs, prog, width, transport.WireV4)
+				if !v4res.Values.EqualValues(v3res.Values) {
+					t.Fatal("v4 values differ from v3 (byte-identity violated)")
+				}
+				if v4res.Steps != v3res.Steps {
+					t.Fatalf("v4 run took %d steps, v3 %d", v4res.Steps, v3res.Steps)
+				}
+				if v4c, v3c := v4res.MessageCounts(), v3res.MessageCounts(); v4c != v3c {
+					t.Fatalf("message counts differ across formats: v4 %+v, v3 %+v", v4c, v3c)
+				}
+				if v3bytes == 0 || v4bytes == 0 {
+					t.Fatalf("wire byte counters did not count (v3 %d, v4 %d)", v3bytes, v4bytes)
+				}
+				ratio := float64(v3bytes) / float64(v4bytes)
+				t.Logf("wire bytes: v3 %d, v4 %d (%.2fx)", v3bytes, v4bytes, ratio)
+				if want := wantRatio[fmt.Sprintf("%s/w%d", prog.Name(), width)]; want > 0 && ratio < want {
+					t.Fatalf("v4 moved %d wire bytes vs v3's %d: %.2fx, want >= %.0fx", v4bytes, v3bytes, ratio, want)
+				}
+				// Even the noisy-mantissa apps must not regress past the
+				// framing overhead: the raw-value fallback caps the loss.
+				if float64(v4bytes) > 1.25*float64(v3bytes) {
+					t.Fatalf("v4 moved %d wire bytes vs v3's %d: compressed format regressed", v4bytes, v3bytes)
+				}
+			})
+		}
+	}
+}
+
+// TestWireQuantizationLossyOptIn: quantization is applied only when asked,
+// shrinks PageRank's noisy wire further, and keeps results within the
+// advertised relative error while remaining deterministic.
+func TestWireQuantizationLossyOptIn(t *testing.T) {
+	g := testGraphs(t)["powerlaw"]
+	const k = 3
+	a, err := core.New().Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs := buildWeightedSubs(t, g, a)
+	prog := &apps.PageRank{Iterations: 6}
+	exact, exactBytes := runOverMesh(t, subs, prog, 1, transport.WireV4)
+
+	mesh, err := transport.NewTCPMeshDeployment(t.Context(), k,
+		transport.WithWireFormat(transport.WireV4), transport.WithWireQuantization(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := bsp.NewDeployment(subs, mesh)
+	if err != nil {
+		mesh.Close()
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	quant, err := dep.Run(context.Background(), prog, bsp.Config{ValueWidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb := mesh.WireBytes(); qb >= exactBytes {
+		t.Fatalf("24-bit quantization moved %d wire bytes, exact v4 moved %d", qb, exactBytes)
+	}
+	var n int
+	var maxRel float64
+	for v := 0; v < g.NumVertices(); v++ {
+		e, ok := exact.Value(graph.VertexID(v))
+		if !ok {
+			continue
+		}
+		q, _ := quant.Value(graph.VertexID(v))
+		if rel := (q - e) / e; rel > maxRel || -rel > maxRel {
+			maxRel = max(rel, -rel)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no vertex values to compare")
+	}
+	// 24 kept mantissa bits bound each hop's relative error by 2^-24;
+	// across 6 iterations the accumulated drift stays far below 1e-4.
+	if maxRel > 1e-4 {
+		t.Fatalf("quantized PageRank drifted %g relative, want < 1e-4", maxRel)
+	}
+}
+
+// TestWireFormatValidation: unknown formats and out-of-range or
+// v3-combined quantization fail deployment construction loudly.
+func TestWireFormatValidation(t *testing.T) {
+	if _, err := transport.NewTCPMeshDeployment(t.Context(), 2, transport.WithWireFormat(7)); err == nil {
+		t.Fatal("unknown wire format accepted")
+	}
+	if _, err := transport.NewTCPMeshDeployment(t.Context(), 2,
+		transport.WithWireFormat(transport.WireV3), transport.WithWireQuantization(16)); err == nil {
+		t.Fatal("quantization over the raw v3 wire accepted")
+	}
+	for _, bits := range []int{-1, 52} {
+		if _, err := transport.NewTCPMeshDeployment(t.Context(), 2, transport.WithWireQuantization(bits)); err == nil {
+			t.Fatalf("quantization to %d bits accepted", bits)
+		}
+	}
+}
+
+// TestCombinerBeyondDenseCapacity pins the silent-corruption fix of the
+// receiver path on a sparse-id graph: the vertex-id space is far larger
+// than any worker's local count, so the sender-side dense index gate falls
+// back to the map and the receiver's sorted-run merge — which has no
+// capacity cutoff at all — must still fold the high-id hub's fan-in rows,
+// with byte-identical values and exact counts.
+func TestCombinerBeyondDenseCapacity(t *testing.T) {
+	// A star whose hub sits at the top of a 50k-wide id space: every part
+	// holds ~50 leaves + the hub replica, so 16x locals is far below the
+	// global count and the hub id would overflow any dense index sized to
+	// a local heuristic.
+	const n, leaves, k = 50_000, 200, 4
+	hub := graph.VertexID(n - 1)
+	edges := make([]graph.Edge, leaves)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.VertexID(i * 7), Dst: hub}
+	}
+	g, err := graph.New(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]int32, len(edges))
+	for i := range parts {
+		parts[i] = int32(i % k)
+	}
+	subs, err := bsp.BuildSubgraphs(g, &partition.Assignment{K: k, Parts: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prog := range []bsp.Program{&apps.CC{}, &apps.PageRank{Iterations: 4}} {
+		t.Run(prog.Name(), func(t *testing.T) {
+			off, err := bsp.Run(subs, prog, bsp.Config{VerifyReplicaAgreement: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			on, err := bsp.Run(subs, prog, bsp.Config{VerifyReplicaAgreement: true, AutoCombine: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !on.Values.EqualValues(off.Values) {
+				t.Fatal("combined values differ from uncombined beyond the dense-index capacity")
+			}
+			oc, fc := on.MessageCounts(), off.MessageCounts()
+			if fc.Emitted != fc.Wire || fc.Wire != fc.Delivered {
+				t.Fatalf("uncombined counts disagree: %+v", fc)
+			}
+			if oc.Emitted != fc.Emitted {
+				t.Fatalf("combined run emitted %d rows, uncombined %d", oc.Emitted, fc.Emitted)
+			}
+			if oc.Delivered >= fc.Delivered {
+				t.Fatalf("high-id hub fan-in was not folded by the receiver merge: combined delivered %d, uncombined %d",
+					oc.Delivered, fc.Delivered)
+			}
+		})
+	}
+}

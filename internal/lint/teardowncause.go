@@ -82,7 +82,8 @@ func consultsCause(fd *ast.FuncDecl) bool {
 func isConnIOCall(info *types.Info, call *ast.CallExpr) bool {
 	name := calleeName(call)
 	switch name {
-	case "readJobFrame", "writeJobFrame", "readColumns", "writeColumns",
+	case "readJobFrame", "writeJobFrame", "readJobFrameV4", "writeJobFrameV4",
+		"readColumns", "writeColumns",
 		"ReadControlFrame", "WriteControlFrame":
 		return true
 	case "ReadFull", "ReadAtLeast", "Copy":

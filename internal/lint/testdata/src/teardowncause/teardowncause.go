@@ -74,3 +74,38 @@ func (r *reader) ReadAll(buf []byte) (int, error) {
 	n, err := r.conn.Read(buf)
 	return n, err
 }
+
+// The v4 compressed-frame codecs are connection I/O like their v3
+// counterparts: a mux surfacing their errors without consulting its
+// recorded cause is the same flake class.
+func readJobFrameV4(c *net.TCPConn, buf []byte) (int, error) {
+	return c.Read(buf)
+}
+
+func writeJobFrameV4(c *net.TCPConn, buf []byte) (int, error) {
+	return c.Write(buf)
+}
+
+func (m *rawMux) RecvV4(buf []byte) (int, error) {
+	n, err := readJobFrameV4(m.conn, buf)
+	return n, err // want "raw connection error"
+}
+
+func (m *rawMux) SendV4(buf []byte) error {
+	_, err := writeJobFrameV4(m.conn, buf)
+	if err != nil {
+		return fmt.Errorf("send v4: %w", err) // want "raw connection error"
+	}
+	return nil
+}
+
+func (m *causeMux) RecvV4(buf []byte) (int, error) {
+	n, err := readJobFrameV4(m.conn, buf)
+	if err != nil {
+		if m.failed != nil {
+			return n, m.failed
+		}
+		return n, err
+	}
+	return n, nil
+}

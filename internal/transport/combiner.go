@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"math"
 
 	"ebv/internal/graph"
@@ -32,12 +33,12 @@ import (
 //     (the built-ins are stateless).
 //
 // Sender-side combining is skipped for batches with fewer than two rows,
-// and the engine disables it adaptively for the rest of a run after
-// consecutive message-bearing steps in which coalescing removed nothing —
-// a program whose outgoing batches carry unique IDs (the
-// replica-synchronization apps) pays the duplicate scan only for the
-// first couple of steps. Receiver-side combining stays on whenever a
-// Combiner is configured.
+// and the engine disables each side adaptively for the rest of a run
+// after consecutive message-bearing steps in which that side's combining
+// removed nothing — a program whose batches carry unique IDs (the
+// replica-synchronization apps) pays the duplicate scan and the inbox
+// merge only for the first couple of steps, then falls back to plain
+// concatenation.
 type Combiner interface {
 	// Name identifies the combiner in diagnostics ("min", "sum").
 	Name() string
@@ -195,15 +196,24 @@ func (b *MessageBatch) Coalesce(c Combiner, idx *CombineIndex) int {
 	return removed
 }
 
-// AppendBatchCombining appends o's rows into b (which must have the same
-// width), folding any row whose id is already present in b — the
-// receiver-side merge of the per-source inboxes. idx must reflect b's
-// current contents: the caller calls Begin when it starts a fresh inbox
-// and lets this method maintain the index across the batches of one
-// superstep. Returns the number of rows appended (rows folded away are
+// AppendBatchCombining appends o's rows into b, folding any row whose id
+// is already present in b — the incremental combining merge (the engine's
+// receiver-side inbox merge uses MergeBatchesCombining instead, which
+// beats the per-row index probe here with sorted runs). idx must reflect
+// b's current contents: the caller calls Begin when it starts a fresh
+// inbox and lets this method maintain the index across a sequence of
+// appends. Returns the number of rows appended (rows folded away are
 // o.Len() minus the return).
-func (b *MessageBatch) AppendBatchCombining(o *MessageBatch, c Combiner, idx *CombineIndex) int {
+//
+// o must have b's width: a width-mismatched merge would interleave
+// misaligned value strides into b — silent corruption — so it fails
+// loudly instead, mirroring the cross-width frame check the jobmux demux
+// performs.
+func (b *MessageBatch) AppendBatchCombining(o *MessageBatch, c Combiner, idx *CombineIndex) (int, error) {
 	w := b.Width
+	if err := o.Check(w); err != nil {
+		return 0, fmt.Errorf("transport: combining append: %w", err)
+	}
 	appended := 0
 	// Rows that don't fold are appended in runs with one bulk copy per
 	// run, so a batch with few duplicates merges at near-AppendBatch
@@ -229,5 +239,5 @@ func (b *MessageBatch) AppendBatchCombining(o *MessageBatch, c Combiner, idx *Co
 		idx.record(id, int32(b.Len()+(i-runStart))) // untrackable ids stay uncombined
 	}
 	flush(o.Len())
-	return appended
+	return appended, nil
 }

@@ -66,14 +66,79 @@ func TestAppendBatchCombiningMaintainsIndex(t *testing.T) {
 	b2 := NewMessageBatch(1)
 	b2.AppendScalar(2, 3)
 	b2.AppendScalar(3, 9)
-	if got := inbox.AppendBatchCombining(b1, MinCombiner{}, idx); got != 2 {
-		t.Fatalf("first merge appended %d rows, want 2", got)
+	if got, err := inbox.AppendBatchCombining(b1, MinCombiner{}, idx); err != nil || got != 2 {
+		t.Fatalf("first merge appended %d rows (err %v), want 2", got, err)
 	}
-	if got := inbox.AppendBatchCombining(b2, MinCombiner{}, idx); got != 1 {
-		t.Fatalf("second merge appended %d rows, want 1", got)
+	if got, err := inbox.AppendBatchCombining(b2, MinCombiner{}, idx); err != nil || got != 1 {
+		t.Fatalf("second merge appended %d rows (err %v), want 1", got, err)
 	}
 	if inbox.Len() != 3 || inbox.Scalar(0) != 5 || inbox.Scalar(1) != 3 || inbox.Scalar(2) != 9 {
 		t.Fatalf("merged inbox = %v / %v", inbox.IDs, inbox.Vals)
+	}
+}
+
+// TestAppendBatchCombiningRejectsWidthMismatch: merging a batch of another
+// width would interleave misaligned value strides into the inbox — silent
+// corruption — so it must fail loudly and leave the inbox untouched.
+func TestAppendBatchCombiningRejectsWidthMismatch(t *testing.T) {
+	inbox := NewMessageBatch(2)
+	inbox.AppendRow(1, []float64{1, 10})
+	idx := NewCombineIndex(0)
+	idx.Begin()
+	idx.record(1, 0)
+	wrong := NewMessageBatch(3)
+	wrong.AppendRow(2, []float64{2, 20, 200})
+	n, err := inbox.AppendBatchCombining(wrong, MinCombiner{}, idx)
+	if err == nil {
+		t.Fatal("width-3 batch merged into a width-2 inbox without error")
+	}
+	if n != 0 || inbox.Len() != 1 || len(inbox.Vals) != 2 {
+		t.Fatalf("failed merge mutated the inbox: n=%d ids=%v vals=%v", n, inbox.IDs, inbox.Vals)
+	}
+}
+
+// TestCoalesceDenseCapacityStraddle pins the dense CombineIndex fallback
+// semantics on a batch whose ids straddle the index capacity: duplicates
+// below the boundary fold, duplicates at or above it pass through
+// uncombined (record/lookup decline them), and the removed count is exact
+// either way — the accounting invariant Result.MessageCounts relies on.
+func TestCoalesceDenseCapacityStraddle(t *testing.T) {
+	const capacity = 8
+	build := func() *MessageBatch {
+		b := NewMessageBatch(1)
+		b.AppendScalar(3, 1)          // below: first occurrence
+		b.AppendScalar(capacity-1, 1) // boundary-1: tracked
+		b.AppendScalar(capacity, 1)   // boundary: untracked in dense mode
+		b.AppendScalar(3, 1)          // below: folds
+		b.AppendScalar(capacity, 1)   // boundary duplicate: stays in dense mode
+		b.AppendScalar(capacity+7, 1) // above: untracked
+		b.AppendScalar(capacity-1, 1) // folds
+		b.AppendScalar(capacity+7, 1) // stays in dense mode
+		return b
+	}
+
+	dense := build()
+	removed := dense.Coalesce(SumCombiner{}, NewCombineIndex(capacity))
+	if want := len(build().IDs) - dense.Len(); removed != want {
+		t.Fatalf("dense Coalesce reported %d removed, batch shrank by %d", removed, want)
+	}
+	if removed != 2 || dense.Len() != 6 {
+		t.Fatalf("dense mode removed %d rows to %d (ids %v), want 2 removed of the below-capacity ids only",
+			removed, dense.Len(), dense.IDs)
+	}
+	if dense.Scalar(0) != 2 || dense.Scalar(1) != 2 {
+		t.Fatalf("below-capacity ids did not fold: %v / %v", dense.IDs, dense.Vals)
+	}
+	for i, id := range dense.IDs {
+		if int(id) >= capacity && dense.Scalar(i) != 1 {
+			t.Fatalf("untrackable id %d was combined: %v / %v", id, dense.IDs, dense.Vals)
+		}
+	}
+
+	// The sparse map mode tracks every id: the same batch fully combines.
+	sparse := build()
+	if removed := sparse.Coalesce(SumCombiner{}, NewCombineIndex(0)); removed != 4 || sparse.Len() != 4 {
+		t.Fatalf("sparse mode removed %d rows to %d, want 4 removed (all duplicates)", removed, sparse.Len())
 	}
 }
 

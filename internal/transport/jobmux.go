@@ -5,9 +5,13 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"net"
+	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // TCPMeshDeployment is the TCP Deployment: a full loopback mesh wired once
@@ -22,34 +26,90 @@ import (
 // loudly, and a frame for a job the deployment has never opened kills the
 // node (cross-job corruption is a protocol violation, not noise).
 //
-// Job frame layout (little endian), version 3 — the job-mux format:
+// The deployment speaks one of two job-tagged frame formats, negotiated
+// per-deployment via WithWireFormat (default WireV4; every node of one
+// deployment uses the same format, and a peer speaking another version
+// fails its first frame at the magic check with an error naming the skew).
 //
-//	u32 magic "EBVJ" | u32 job | u32 step | u8 active | u32 width | u32 count |
+// Job frame layout (little endian), version 3 ("EBVJ") — the raw format:
+//
+//	u32 magic | u32 job | u32 step | u8 active | u32 width | u32 count |
 //	u32 idBytes  | count × u32 vertex id        (64 KiB blocks)
 //	u32 valBytes | count·width × f64 value      (64 KiB blocks)
 //
-// The columns are the v2 columns (writeColumns/readColumns); the magic
-// word differs from v2's "EBVM" so a single-job peer dialed into a
-// deployment fails its first frame loudly instead of desynchronizing.
+// Version 4 ("EBV4", the default) compresses both columns and seals the
+// frame with a CRC-32C (see wirecodec.go for the column codecs):
+//
+//	u32 magic | u32 job | u32 step | u8 active | u8 flags | u32 width |
+//	u32 count | u32 idBytes | u32 valBytes | u32 crc |
+//	idBytes  × zigzag-delta uvarint vertex ids
+//	valBytes × packed values (or raw f64 when packing would expand)
+//
+// The CRC covers every header field after the magic plus both columns, so
+// any corrupted frame — including any single bit flip — is rejected
+// loudly instead of decoding to garbage.
 type TCPMeshDeployment struct {
 	k       int
 	nodes   []*muxNode
 	mu      sync.Mutex
 	closed  bool
 	readers sync.WaitGroup
+	format  WireFormat
+	wire    atomic.Int64
 }
 
 var _ Deployment = (*TCPMeshDeployment)(nil)
 
+// MeshOption configures a TCPMeshDeployment.
+type MeshOption func(*meshSettings)
+
+type meshSettings struct {
+	format    WireFormat
+	quantBits int
+}
+
+// WithWireFormat selects the deployment's job frame encoding (default
+// WireV4). Every node of a deployment speaks the chosen format; deploy
+// WireV3 only to interoperate with peers that predate the v4 codec.
+func WithWireFormat(f WireFormat) MeshOption {
+	return func(s *meshSettings) { s.format = f }
+}
+
+// WithWireQuantization rounds every value's mantissa to its top bits
+// significant bits before v4 encoding — a LOSSY transform (results are no
+// longer byte-identical to an uncompressed run) that buys wire bytes on
+// noisy-mantissa payloads. 0 (the default) is off/lossless; valid values
+// are 1..51. Requires WireV4.
+func WithWireQuantization(bits int) MeshOption {
+	return func(s *meshSettings) { s.quantBits = bits }
+}
+
 // NewTCPMeshDeployment wires a persistent k-worker loopback mesh and
 // starts its demux readers. Canceling ctx aborts the wiring (not the
 // finished deployment — tear that down with Close).
-func NewTCPMeshDeployment(ctx context.Context, k int) (*TCPMeshDeployment, error) {
+func NewTCPMeshDeployment(ctx context.Context, k int, opts ...MeshOption) (*TCPMeshDeployment, error) {
+	settings := meshSettings{format: WireV4}
+	for _, opt := range opts {
+		opt(&settings)
+	}
+	switch settings.format {
+	case WireV3, WireV4:
+	default:
+		return nil, fmt.Errorf("transport: unknown wire format %d (valid: WireV3, WireV4)", settings.format)
+	}
+	if q := settings.quantBits; q != 0 {
+		if settings.format != WireV4 {
+			return nil, fmt.Errorf("transport: wire quantization requires WireV4, deployment speaks %s", settings.format)
+		}
+		if q < 1 || q > 51 {
+			return nil, fmt.Errorf("transport: wire quantization keeps %d mantissa bits, valid range is 1..51", q)
+		}
+	}
 	ts, err := NewTCPMeshCtx(ctx, k)
 	if err != nil {
 		return nil, err
 	}
-	d := &TCPMeshDeployment{k: k, nodes: make([]*muxNode, k)}
+	d := &TCPMeshDeployment{k: k, nodes: make([]*muxNode, k), format: settings.format}
 	for i, t := range ts {
 		d.nodes[i] = &muxNode{
 			worker:  i,
@@ -57,6 +117,10 @@ func NewTCPMeshDeployment(ctx context.Context, k int) (*TCPMeshDeployment, error
 			conns:   t.conns,
 			bufw:    make([]*bufio.Writer, k),
 			wmu:     make([]sync.Mutex, k),
+			enc:     make([]*v4Scratch, k),
+			format:  settings.format,
+			quant:   settings.quantBits,
+			wire:    &d.wire,
 			jobs:    make(map[uint32]*muxJob),
 			retired: make(map[uint32]struct{}),
 		}
@@ -78,6 +142,15 @@ func NewTCPMeshDeployment(ctx context.Context, k int) (*TCPMeshDeployment, error
 
 // NumWorkers implements Deployment.
 func (d *TCPMeshDeployment) NumWorkers() int { return d.k }
+
+// Format reports the deployment's negotiated wire format.
+func (d *TCPMeshDeployment) Format() WireFormat { return d.format }
+
+// WireBytes reports the total frame bytes (headers and columns) this
+// deployment's nodes have written to their peers since construction — the
+// wire-volume axis EXPERIMENTS.md and ebv-bench track across codec
+// changes. Self-delivery never touches the wire and is not counted.
+func (d *TCPMeshDeployment) WireBytes() int64 { return d.wire.Load() }
 
 // OpenJob implements Deployment: the job is registered on every node's
 // demux table before any transport is returned, so a fast worker's first
@@ -144,7 +217,11 @@ type muxNode struct {
 	k      int
 	conns  []net.Conn // conns[peer]; nil at index == worker
 	bufw   []*bufio.Writer
-	wmu    []sync.Mutex // guards bufw[peer] and frame atomicity on the wire
+	wmu    []sync.Mutex // guards bufw[peer], enc[peer] and frame atomicity on the wire
+	enc    []*v4Scratch // per-peer v4 encode scratch; lazily built under wmu[peer]
+	format WireFormat
+	quant  int           // v4 mantissa bits to keep (0 = lossless)
+	wire   *atomic.Int64 // deployment-wide frame bytes written
 
 	mu       sync.Mutex
 	jobs     map[uint32]*muxJob
@@ -259,12 +336,25 @@ func (n *muxNode) fail(cause error) {
 	}
 }
 
-// readLoop is the demux for one peer connection: it decodes job frames and
-// routes them to the owning job's inbox until the connection dies.
+// readLoop is the demux for one peer connection: it decodes job frames of
+// the deployment's negotiated format and routes them to the owning job's
+// inbox until the connection dies.
 func (n *muxNode) readLoop(peer int) {
 	br := bufio.NewReaderSize(n.conns[peer], 1<<16)
+	var dec v4Scratch // per-connection decode scratch, reused across frames
 	for {
-		job, step, active, batch, err := readJobFrame(br)
+		var (
+			job    uint32
+			step   int
+			active bool
+			batch  *MessageBatch
+			err    error
+		)
+		if n.format == WireV4 {
+			job, step, active, batch, err = readJobFrameV4(br, &dec)
+		} else {
+			job, step, active, batch, err = readJobFrame(br)
+		}
 		if err != nil {
 			n.fail(fmt.Errorf("transport: demux at worker %d from %d: %w", n.worker, peer, err))
 			return
@@ -314,6 +404,41 @@ func (n *muxNode) writerTo(peer int) *bufio.Writer {
 		n.bufw[peer] = bufio.NewWriterSize(n.conns[peer], 1<<16)
 	}
 	return n.bufw[peer]
+}
+
+// writeFrame writes one job frame to peer in the deployment's negotiated
+// format under the per-peer write lock (keeping interleaved jobs' frames
+// atomic on the shared stream) and charges the frame's bytes to the
+// deployment's wire counter.
+func (n *muxNode) writeFrame(peer int, job uint32, step int, active bool, batch *MessageBatch) error {
+	n.wmu[peer].Lock()
+	defer n.wmu[peer].Unlock()
+	var err error
+	if n.format == WireV4 {
+		if n.enc[peer] == nil {
+			n.enc[peer] = new(v4Scratch)
+		}
+		var wrote int
+		wrote, err = writeJobFrameV4(n.writerTo(peer), job, step, active, batch, n.quant, n.enc[peer])
+		n.wire.Add(int64(wrote))
+	} else if err = writeJobFrame(n.writerTo(peer), job, step, active, batch); err == nil {
+		wire := int64(jobFrameHeaderBytes)
+		if count := batch.Len(); count > 0 {
+			wire += 8 + int64(count)*4 + int64(count*batch.Width)*8 // column prefixes + columns
+		}
+		n.wire.Add(wire)
+	}
+	if err != nil {
+		// A write can lose the teardown race: fail/Close record the node's
+		// cause before closing any connection, so the recorded cause — not
+		// the induced "use of closed network connection" — is the story.
+		n.mu.Lock()
+		if n.failed != nil {
+			err = n.failed
+		}
+		n.mu.Unlock()
+	}
+	return err
 }
 
 // failure returns the job's recorded cause (safe after done closed).
@@ -389,10 +514,7 @@ func (j *muxJob) Exchange(worker, step int, out []*MessageBatch, active bool) (E
 		wg.Add(1)
 		go func(peer int, batch *MessageBatch) {
 			defer wg.Done()
-			n.wmu[peer].Lock()
-			err := writeJobFrame(n.writerTo(peer), j.job, step, active, batch)
-			n.wmu[peer].Unlock()
-			if err != nil {
+			if err := n.writeFrame(peer, j.job, step, active, batch); err != nil {
 				errCh <- fmt.Errorf("transport: job %d write to %d: %w", j.job, peer, err)
 			}
 		}(peer, batch)
@@ -517,6 +639,10 @@ func readJobFrame(br *bufio.Reader) (job uint32, step int, active bool, batch *M
 		return 0, 0, false, nil, err
 	}
 	if magic := binary.LittleEndian.Uint32(header[0:4]); magic != jobFrameMagic {
+		if magic == jobFrameMagicV4 {
+			return 0, 0, false, nil, fmt.Errorf(
+				"job frame magic %#x is wire v4 (EBV4): peer speaks the compressed format to a v3 deployment — align WithWireFormat across every node", magic)
+		}
 		return 0, 0, false, nil, fmt.Errorf(
 			"bad job frame magic %#x (peer speaking a single-job wire format?)", magic)
 	}
@@ -533,4 +659,196 @@ func readJobFrame(br *bufio.Reader) (job uint32, step int, active bool, batch *M
 		return 0, 0, false, nil, err
 	}
 	return job, step, active, batch, nil
+}
+
+const (
+	// jobFrameMagicV4 marks a compressed job-mux (version 4) frame; see
+	// TCPMeshDeployment. Distinct from v3's "EBVJ" and v2's "EBVM" so any
+	// mixed-version pairing fails its first frame loudly.
+	jobFrameMagicV4 = 0x45425634 // "EBV4"
+
+	// jobFrameHeaderBytesV4: magic + job + step + active + flags + width +
+	// count + idBytes + valBytes + crc.
+	jobFrameHeaderBytesV4 = 34
+)
+
+// v4Scratch is the reusable frame codec scratch: one per peer on the
+// write side (guarded by the per-peer write lock), one per demux
+// goroutine on the read side, so steady-state frames encode and decode
+// without allocating.
+type v4Scratch struct {
+	ids  []byte // encoded ID column
+	vals []byte // encoded value column
+	buf  []byte // reader-side payload staging
+}
+
+// writeJobFrameV4 encodes one compressed job-tagged frame into bw and
+// flushes it, returning the frame's wire size. quant > 0 keeps only the
+// top quant mantissa bits of every value (lossy; applied in place — the
+// batch belongs to the transport at this point and is recycled after the
+// write). A nil or empty batch writes an empty frame (count 0, no
+// columns).
+func writeJobFrameV4(bw *bufio.Writer, job uint32, step int, active bool, batch *MessageBatch, quant int, s *v4Scratch) (int, error) {
+	width, count := 0, 0
+	if batch != nil {
+		width, count = batch.Width, batch.Len()
+	}
+	if count > maxWireMessages || count*width > maxWireValues {
+		return 0, fmt.Errorf("batch of %d messages × width %d exceeds the wire cap (%d messages, %d values)",
+			count, width, maxWireMessages, maxWireValues)
+	}
+	var flags byte
+	s.ids, s.vals = s.ids[:0], s.vals[:0]
+	if count == 0 {
+		width = 0 // canonical empty frame
+	} else {
+		if quant > 0 {
+			quantizeVals(batch.Vals, quant)
+			flags |= v4FlagQuantized
+		}
+		flags |= v4FlagDeltaIDs
+		s.ids = appendDeltaIDs(s.ids, batch.IDs)
+		s.vals = appendPackedVals(s.vals, batch.Vals)
+		if len(s.vals) < count*width*8 {
+			flags |= v4FlagPackedVal
+		} else {
+			// Packing would expand this column (noisy-mantissa payloads
+			// can cost 9 bytes/value): ship it raw and say so in flags.
+			s.vals = s.vals[:0]
+			for _, v := range batch.Vals {
+				s.vals = binary.LittleEndian.AppendUint64(s.vals, math.Float64bits(v))
+			}
+		}
+	}
+	var header [jobFrameHeaderBytesV4]byte
+	binary.LittleEndian.PutUint32(header[0:4], jobFrameMagicV4)
+	binary.LittleEndian.PutUint32(header[4:8], job)
+	binary.LittleEndian.PutUint32(header[8:12], uint32(step))
+	if active {
+		header[12] = 1
+	}
+	header[13] = flags
+	binary.LittleEndian.PutUint32(header[14:18], uint32(width))
+	binary.LittleEndian.PutUint32(header[18:22], uint32(count))
+	binary.LittleEndian.PutUint32(header[22:26], uint32(len(s.ids)))
+	binary.LittleEndian.PutUint32(header[26:30], uint32(len(s.vals)))
+	crc := crc32.Update(0, castagnoli, header[4:30])
+	crc = crc32.Update(crc, castagnoli, s.ids)
+	crc = crc32.Update(crc, castagnoli, s.vals)
+	binary.LittleEndian.PutUint32(header[30:34], crc)
+	if _, err := bw.Write(header[:]); err != nil {
+		return 0, err
+	}
+	if _, err := bw.Write(s.ids); err != nil {
+		return 0, err
+	}
+	if _, err := bw.Write(s.vals); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return jobFrameHeaderBytesV4 + len(s.ids) + len(s.vals), nil
+}
+
+// readJobFrameV4 decodes one compressed job-tagged frame. The frame's
+// shape is validated against the wire caps before anything is allocated,
+// the CRC is verified over header and payload before anything is decoded
+// (so any corrupted frame — any single bit flip included — fails here
+// loudly), and both columns must decode exactly: truncation, trailing
+// bytes, out-of-range ids and invalid value descriptors are all errors.
+// A non-empty frame returns a pooled batch owned by the caller.
+func readJobFrameV4(br *bufio.Reader, s *v4Scratch) (job uint32, step int, active bool, batch *MessageBatch, err error) {
+	var header [jobFrameHeaderBytesV4]byte
+	if _, err = io.ReadFull(br, header[:]); err != nil {
+		return 0, 0, false, nil, err
+	}
+	if magic := binary.LittleEndian.Uint32(header[0:4]); magic != jobFrameMagicV4 {
+		if magic == jobFrameMagic {
+			return 0, 0, false, nil, fmt.Errorf(
+				"job frame magic %#x is wire v3 (EBVJ): peer speaks the raw format to a v4 deployment — align WithWireFormat across every node", magic)
+		}
+		return 0, 0, false, nil, fmt.Errorf(
+			"bad v4 job frame magic %#x (peer speaking a single-job wire format?)", magic)
+	}
+	job = binary.LittleEndian.Uint32(header[4:8])
+	step = int(binary.LittleEndian.Uint32(header[8:12]))
+	active = header[12] == 1
+	flags := header[13]
+	width := int(binary.LittleEndian.Uint32(header[14:18]))
+	count := int(binary.LittleEndian.Uint32(header[18:22]))
+	idBytes := int(binary.LittleEndian.Uint32(header[22:26]))
+	valBytes := int(binary.LittleEndian.Uint32(header[26:30]))
+	wantCRC := binary.LittleEndian.Uint32(header[30:34])
+
+	if flags&^(v4FlagDeltaIDs|v4FlagPackedVal|v4FlagQuantized) != 0 {
+		return 0, 0, false, nil, fmt.Errorf("v4 frame has unknown flags %#x", flags)
+	}
+	if count == 0 {
+		if flags != 0 || width != 0 || idBytes != 0 || valBytes != 0 {
+			return 0, 0, false, nil, fmt.Errorf(
+				"empty v4 frame is non-canonical (flags %#x width %d idBytes %d valBytes %d)",
+				flags, width, idBytes, valBytes)
+		}
+	} else {
+		if width < 1 || width > maxWireWidth {
+			return 0, 0, false, nil, fmt.Errorf("v4 frame width %d out of range [1,%d]", width, maxWireWidth)
+		}
+		if count < 0 || count > maxWireMessages || count*width > maxWireValues {
+			return 0, 0, false, nil, fmt.Errorf("v4 frame of %d messages × width %d exceeds the wire cap", count, width)
+		}
+		if flags&v4FlagDeltaIDs == 0 {
+			return 0, 0, false, nil, fmt.Errorf("v4 frame without delta-encoded ids (flags %#x)", flags)
+		}
+		if idBytes < count || idBytes > count*5 {
+			return 0, 0, false, nil, fmt.Errorf("v4 id column is %d bytes for %d ids (valid range [%d,%d])",
+				idBytes, count, count, count*5)
+		}
+		values := count * width
+		if flags&v4FlagPackedVal != 0 {
+			if valBytes < values || valBytes > values*9 {
+				return 0, 0, false, nil, fmt.Errorf("v4 packed value column is %d bytes for %d values (valid range [%d,%d])",
+					valBytes, values, values, values*9)
+			}
+		} else if valBytes != values*8 {
+			return 0, 0, false, nil, fmt.Errorf("v4 raw value column is %d bytes, want %d", valBytes, values*8)
+		}
+	}
+
+	if need := idBytes + valBytes; cap(s.buf) < need {
+		s.buf = make([]byte, need)
+	} else {
+		s.buf = s.buf[:need]
+	}
+	if _, err = io.ReadFull(br, s.buf); err != nil {
+		return 0, 0, false, nil, err
+	}
+	crc := crc32.Update(0, castagnoli, header[4:30])
+	crc = crc32.Update(crc, castagnoli, s.buf)
+	if crc != wantCRC {
+		return 0, 0, false, nil, fmt.Errorf("v4 frame CRC mismatch (want %#x, computed %#x): corrupted frame", wantCRC, crc)
+	}
+	if count == 0 {
+		return job, step, active, nil, nil
+	}
+
+	b := GetBatch(width)
+	b.IDs = slices.Grow(b.IDs, count)[:count]
+	b.Vals = slices.Grow(b.Vals, count*width)[:count*width]
+	idCol, valCol := s.buf[:idBytes], s.buf[idBytes:]
+	if err := decodeDeltaIDs(idCol, b.IDs); err != nil {
+		RecycleBatch(b)
+		return 0, 0, false, nil, fmt.Errorf("v4 frame: %w", err)
+	}
+	if flags&v4FlagPackedVal != 0 {
+		if err := decodePackedVals(valCol, b.Vals); err != nil {
+			RecycleBatch(b)
+			return 0, 0, false, nil, fmt.Errorf("v4 frame: %w", err)
+		}
+	} else {
+		for i := range b.Vals {
+			b.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(valCol[i*8:]))
+		}
+	}
+	return job, step, active, b, nil
 }

@@ -174,7 +174,10 @@ func TestJobMuxCrossWidthSendRejected(t *testing.T) {
 // disagrees with the open job's and asserts the receiving job's Exchange
 // fails loudly (the demux-side half of the cross-width guarantee).
 func TestJobMuxCrossWidthFrameRejected(t *testing.T) {
-	d, err := NewTCPMeshDeployment(t.Context(), 2)
+	// Pinned to v3 so the injected raw v3 frame reaches the width check
+	// (under the default v4 format it would die at the magic check first;
+	// the v4 demux's own width check is covered in wirecodec_test.go).
+	d, err := NewTCPMeshDeployment(t.Context(), 2, WithWireFormat(WireV3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +211,7 @@ func TestJobMuxCrossWidthFrameRejected(t *testing.T) {
 // deployment never opened: cross-job corruption must fail the receiving
 // node loudly (every open job errors) instead of being silently dropped.
 func TestJobMuxUnknownJobFrameKillsNode(t *testing.T) {
-	d, err := NewTCPMeshDeployment(t.Context(), 2)
+	d, err := NewTCPMeshDeployment(t.Context(), 2, WithWireFormat(WireV3))
 	if err != nil {
 		t.Fatal(err)
 	}

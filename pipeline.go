@@ -13,6 +13,7 @@ import (
 	"ebv/internal/core"
 	"ebv/internal/graph"
 	"ebv/internal/partition"
+	"ebv/internal/transport"
 )
 
 // PipelineStage names one stage of a Pipeline run, in execution order:
@@ -103,6 +104,8 @@ type Pipeline struct {
 	progress    func(PipelineProgress)
 	runOpts     []RunOption
 	useTCP      bool
+	wireFormat  transport.WireFormat // 0 → the deployment default (v4)
+	wireQuant   int
 	materialize bool
 	parallelism int
 	valueWidth  int
@@ -134,10 +137,14 @@ type RunOption = bsp.Option
 
 // NewPipeline builds a Pipeline. Defaults: no source (Run fails until a
 // From* option is given), the paper's EBV partitioner, 8 subgraphs, the
-// in-memory transport, no progress reporting, data-plane parallelism of
-// GOMAXPROCS (see Parallelism).
+// in-memory transport, automatic message combining (see WithoutCombining
+// to opt out), no progress reporting, data-plane parallelism of GOMAXPROCS
+// (see Parallelism).
 func NewPipeline(opts ...PipelineOption) *Pipeline {
-	p := &Pipeline{k: 8}
+	// The combining default is seeded ahead of the caller's options, so a
+	// later WithoutCombining / WithRun(AutoCombine(false)) / per-job
+	// override wins (Config options apply in order).
+	p := &Pipeline{k: 8, runOpts: []RunOption{bsp.WithAutoCombine(true)}}
 	for _, opt := range opts {
 		opt(p)
 	}
@@ -236,8 +243,40 @@ func ValueWidth(width int) PipelineOption {
 // reduces duplicate-ID message rows sender-side and receiver-side. Results
 // are byte-identical with combining on or off; per-job overrides remain
 // available via the Combiner/AutoCombine RunOptions on Session.Run.
+//
+// Combining is the default, so this option is now a no-op kept for
+// compatibility; WithoutCombining opts out.
 func CombineMessages() PipelineOption {
 	return func(p *Pipeline) { p.runOpts = append(p.runOpts, bsp.WithAutoCombine(true)) }
+}
+
+// WithoutCombining disables the automatic message combining that pipelines
+// apply by default — the paper-faithful raw message plane, where every
+// emitted row crosses the wire and reaches the program's inbox verbatim.
+// Results are byte-identical either way; only MessageCounts and wire/inbox
+// volume differ.
+func WithoutCombining() PipelineOption {
+	return func(p *Pipeline) { p.runOpts = append(p.runOpts, bsp.WithAutoCombine(false)) }
+}
+
+// UseWireFormat pins the job-mux frame encoding of the session's TCP mesh
+// (UseTCPLoopback): WireV4 — the default — ships delta+varint ID columns
+// and byte-packed value columns; WireV3 ships the raw columns. Every node
+// of a deployment speaks the same format, and a mixed-version pairing
+// fails its first frame loudly at the magic check. No effect on the
+// in-memory transport.
+func UseWireFormat(f WireFormat) PipelineOption {
+	return func(p *Pipeline) { p.wireFormat = f }
+}
+
+// WireQuantization keeps only the top bits (1..51) of every message
+// value's mantissa on the v4 wire — an opt-in lossy transform for
+// tolerance-based runs where approximate float payloads are acceptable.
+// Off by default; incompatible with UseWireFormat(WireV3). Quantization
+// breaks the byte-identity guarantee by design: results are within
+// 2^-bits relative error, not bit-exact.
+func WireQuantization(bits int) PipelineOption {
+	return func(p *Pipeline) { p.wireQuant = bits }
 }
 
 // OnProgress registers a stage-progress callback.
